@@ -1,0 +1,77 @@
+#include "bench/bench_common.h"
+
+namespace rlbench {
+
+using rlsim::Duration;
+using rlsim::Simulator;
+using rlsim::Task;
+
+rlharness::TestbedOptions DefaultTestbed(rlharness::DeploymentMode mode,
+                                         rlharness::DiskSetup disks,
+                                         const rldb::EngineProfile& profile) {
+  rlharness::TestbedOptions opt;
+  opt.mode = mode;
+  opt.disks = disks;
+  opt.db.profile = profile;
+  opt.db.pool_pages = 2048;
+  opt.db.journal_pages = 1200;
+  opt.db.profile.checkpoint_dirty_pages = 512;
+  // A database server under OLTP load draws well below the PSU rating;
+  // 120 W against a 400 W supply gives a ~53 ms hold-up window.
+  opt.psu.system_load_watts = 120;
+  return opt;
+}
+
+rlwork::TpccConfig DefaultTpcc() {
+  rlwork::TpccConfig cfg;
+  cfg.warehouses = 2;
+  cfg.districts_per_warehouse = 8;
+  cfg.customers_per_district = 50;
+  cfg.items = 1000;
+  cfg.think_time = rlsim::Duration::Micros(300);
+  return cfg;
+}
+
+RunResult RunTpcc(const TpccRunConfig& config) {
+  Simulator sim(config.seed);
+  rlharness::Testbed bed(sim, config.testbed);
+  rlwork::TpccLite tpcc(sim, config.tpcc);
+  bool stop = false;
+  RunResult result;
+
+  sim.Spawn([](Simulator& s, rlharness::Testbed& b, rlwork::TpccLite& w,
+               const TpccRunConfig& cfg, RunResult& out,
+               bool& stop_flag) -> Task<void> {
+    co_await b.Start();
+    co_await w.LoadInitial(b.db());
+    for (int c = 0; c < cfg.clients; ++c) {
+      s.Spawn(w.RunClient(b.db(), c, &stop_flag, nullptr));
+    }
+    co_await s.Sleep(cfg.warmup);
+    // Steady state: restart the measurement window.
+    w.stats().committed.Reset();
+    w.stats().new_orders.Reset();
+    w.stats().lock_aborts.Reset();
+    w.stats().txn_latency.Reset();
+    const rlsim::TimePoint t0 = s.now();
+    co_await s.Sleep(cfg.measure);
+    const double seconds = (s.now() - t0).ToSecondsF();
+    stop_flag = true;
+
+    out.committed = w.stats().committed.value();
+    out.lock_aborts = w.stats().lock_aborts.value();
+    out.txns_per_sec = static_cast<double>(out.committed) / seconds;
+    out.new_orders_per_sec =
+        static_cast<double>(w.stats().new_orders.value()) / seconds;
+    out.p50 = w.stats().txn_latency.PercentileDuration(50);
+    out.p95 = w.stats().txn_latency.PercentileDuration(95);
+    out.p99 = w.stats().txn_latency.PercentileDuration(99);
+    out.mean = rlsim::Duration::Nanos(
+        static_cast<int64_t>(w.stats().txn_latency.Mean()));
+  }(sim, bed, tpcc, config, result, stop));
+
+  sim.Run();
+  return result;
+}
+
+}  // namespace rlbench

@@ -1,0 +1,72 @@
+// Shared harness code for the experiment benchmarks (E1..E10): runs a
+// workload on a Testbed configuration for a stretch of simulated time and
+// reports throughput/latency, plus small table-printing helpers.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/faults/durability_checker.h"
+#include "src/harness/testbed.h"
+#include "src/sim/simulator.h"
+#include "src/workload/kv_workload.h"
+#include "src/workload/tpcc_lite.h"
+
+namespace rlbench {
+
+struct RunResult {
+  double txns_per_sec = 0;
+  double new_orders_per_sec = 0;
+  int64_t committed = 0;
+  int64_t lock_aborts = 0;
+  rlsim::Duration p50 = rlsim::Duration::Zero();
+  rlsim::Duration p95 = rlsim::Duration::Zero();
+  rlsim::Duration p99 = rlsim::Duration::Zero();
+  rlsim::Duration mean = rlsim::Duration::Zero();
+};
+
+struct TpccRunConfig {
+  rlharness::TestbedOptions testbed;
+  rlwork::TpccConfig tpcc;
+  int clients = 16;
+  rlsim::Duration warmup = rlsim::Duration::Millis(500);
+  rlsim::Duration measure = rlsim::Duration::Seconds(3);
+  uint64_t seed = 42;
+};
+
+// Runs TPC-C-lite on a fresh testbed and reports steady-state results
+// (warmup excluded by resetting the counters).
+RunResult RunTpcc(const TpccRunConfig& config);
+
+// Standard testbed options used across experiments.
+rlharness::TestbedOptions DefaultTestbed(rlharness::DeploymentMode mode,
+                                         rlharness::DiskSetup disks,
+                                         const rldb::EngineProfile& profile);
+
+// Standard small-but-contended TPC-C sizing.
+rlwork::TpccConfig DefaultTpcc();
+
+// --- Output helpers ----------------------------------------------------------
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, const char* fmt = "%.1f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+inline std::string FmtDur(rlsim::Duration d) { return rlsim::ToString(d); }
+
+}  // namespace rlbench

@@ -1,0 +1,7 @@
+// E2 — TPC-C throughput vs multiprogramming level, PostgreSQL-like engine.
+#include "bench/bench_tpcc_sweep.h"
+
+int main() {
+  rlbench::RunTpccClientSweep("E2", rldb::PostgresLikeProfile());
+  return 0;
+}

@@ -1,0 +1,7 @@
+// E3 — TPC-C throughput vs multiprogramming level, InnoDB-like engine.
+#include "bench/bench_tpcc_sweep.h"
+
+int main() {
+  rlbench::RunTpccClientSweep("E3", rldb::InnodbLikeProfile());
+  return 0;
+}

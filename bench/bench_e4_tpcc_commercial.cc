@@ -1,0 +1,7 @@
+// E4 — TPC-C throughput vs multiprogramming level, commercial-like engine.
+#include "bench/bench_tpcc_sweep.h"
+
+int main() {
+  rlbench::RunTpccClientSweep("E4", rldb::CommercialLikeProfile());
+  return 0;
+}

@@ -1,0 +1,66 @@
+// E5 — Disk-configuration matrix: where does RapiLog win, and by how much?
+//
+// The paper's claim has two halves: (a) on plain rotating disks RapiLog
+// improves throughput substantially, and (b) on hardware that already hides
+// write latency (battery-backed write cache, SSD) it never hurts beyond the
+// virtualisation overhead. The matrix reproduces both.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using rlbench::Fmt;
+using rlbench::PrintHeader;
+using rlbench::PrintRow;
+using rlharness::DeploymentMode;
+using rlharness::DiskSetup;
+
+}  // namespace
+
+int main() {
+  const struct {
+    const char* name;
+    DiskSetup setup;
+  } disks[] = {
+      {"shared-hdd", DiskSetup::kSharedHdd},
+      {"separate-hdd", DiskSetup::kSeparateHdd},
+      {"bbwc", DiskSetup::kBbwc},
+      {"ssd-log", DiskSetup::kSsdLog},
+  };
+  const struct {
+    const char* name;
+    DeploymentMode mode;
+  } arms[] = {
+      {"native", DeploymentMode::kNative},
+      {"virt", DeploymentMode::kVirt},
+      {"rapilog", DeploymentMode::kRapiLog},
+  };
+
+  PrintHeader(
+      "E5: TPC-C-lite throughput (txns/s) by storage configuration, "
+      "16 clients, pg-like");
+  PrintRow({"disks", "native", "virt", "rapilog", "rapi/virt"});
+
+  for (const auto& disk : disks) {
+    std::vector<double> rates;
+    for (const auto& arm : arms) {
+      rlbench::TpccRunConfig cfg;
+      cfg.testbed = rlbench::DefaultTestbed(arm.mode, disk.setup,
+                                            rldb::PostgresLikeProfile());
+      cfg.tpcc = rlbench::DefaultTpcc();
+      cfg.clients = 16;
+      rates.push_back(rlbench::RunTpcc(cfg).txns_per_sec);
+    }
+    PrintRow({disk.name, Fmt(rates[0], "%.0f"), Fmt(rates[1], "%.0f"),
+              Fmt(rates[2], "%.0f"),
+              Fmt(rates[1] > 0 ? rates[2] / rates[1] : 0, "%.2fx")});
+  }
+  std::printf(
+      "\nExpected shape: biggest rapilog win on the shared rotating disk; "
+      "the win shrinks\nwith a dedicated log disk and mostly vanishes with "
+      "BBWC/SSD — but never inverts\nbeyond noise (RapiLog does not "
+      "degrade performance).\n");
+  return 0;
+}

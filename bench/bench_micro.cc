@@ -1,0 +1,143 @@
+// Component microbenchmarks (google-benchmark): costs of the simulation
+// substrate itself — event dispatch, coroutine wakeups, RNG, CRC, histogram
+// recording, kernel IPC round-trips, B+-tree operations.
+#include <benchmark/benchmark.h>
+
+#include "src/db/btree.h"
+#include "src/db/buffer_pool.h"
+#include "src/microkernel/kernel.h"
+#include "src/sim/crc32.h"
+#include "src/sim/rng.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+#include "src/storage/block_device.h"
+
+namespace {
+
+void BM_EventSchedule(benchmark::State& state) {
+  rlsim::Simulator sim;
+  int sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(rlsim::Duration::Micros(i), [&sink] { ++sink; });
+    }
+    sim.Run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventSchedule);
+
+void BM_CoroutinePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    rlsim::Simulator sim;
+    sim.Spawn([](rlsim::Simulator& s) -> rlsim::Task<void> {
+      for (int i = 0; i < 1000; ++i) {
+        co_await s.Sleep(rlsim::Duration::Nanos(1));
+      }
+    }(sim));
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutinePingPong);
+
+void BM_RngNext(benchmark::State& state) {
+  rlsim::Rng rng(1);
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    sink ^= rng.Next();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  rlsim::Rng rng(1);
+  rlsim::ZipfianGenerator zipf(1'000'000, 0.99);
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    sink ^= zipf.Next(rng);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_ZipfianNext);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)), 0xAB);
+  uint32_t sink = 0;
+  for (auto _ : state) {
+    sink ^= rlsim::Crc32c(data);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(512)->Arg(8192);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  rlsim::Histogram h;
+  int64_t v = 1;
+  for (auto _ : state) {
+    h.Record(v);
+    v = (v * 7) % 1'000'000 + 1;
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_KernelIpcRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    rlsim::Simulator sim;
+    rlkern::Kernel kernel(sim);
+    const rlkern::ObjectId root = kernel.BootstrapCNode(16);
+    kernel.BootstrapUntyped(root, 0, 1 << 16);
+    kernel.Retype(rlkern::SlotAddr{root, 0}, rlkern::ObjectType::kEndpoint, 0,
+                  root, 1, 1);
+    const rlkern::SlotAddr ep{root, 1};
+    sim.Spawn([](rlkern::Kernel& k, rlkern::SlotAddr e) -> rlsim::Task<void> {
+      for (int i = 0; i < 100; ++i) {
+        rlkern::Received got;
+        co_await k.Recv(e, &got);
+        rlkern::IpcMessage reply;
+        k.Reply(got.reply, std::move(reply));
+      }
+    }(kernel, ep));
+    sim.Spawn([](rlkern::Kernel& k, rlkern::SlotAddr e) -> rlsim::Task<void> {
+      for (int i = 0; i < 100; ++i) {
+        rlkern::IpcMessage msg;
+        rlkern::IpcMessage reply;
+        co_await k.Call(e, std::move(msg), &reply);
+      }
+    }(kernel, ep));
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_KernelIpcRoundTrip);
+
+void BM_BTreePut(benchmark::State& state) {
+  for (auto _ : state) {
+    rlsim::Simulator sim;
+    rlstor::SimBlockDevice dev(
+        sim,
+        rlstor::SimBlockDevice::Options{.geometry = {.sector_count = 1 << 20}},
+        rlstor::MakeDefaultSsd());
+    rldb::BufferPool pool(sim, dev, 8192, 4096);
+    uint64_t next_free = 1;
+    rldb::BTree tree(pool, 96, &next_free);
+    sim.Spawn([](rldb::BTree& t) -> rlsim::Task<void> {
+      uint64_t root = t.CreateEmpty();
+      const std::vector<uint8_t> value(96, 0x11);
+      for (uint64_t k = 0; k < 2000; ++k) {
+        root = co_await t.Put(root, k * 7919 % 100000, value);
+      }
+    }(tree));
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_BTreePut);
+
+}  // namespace
+
+BENCHMARK_MAIN();

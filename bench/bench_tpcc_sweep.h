@@ -1,0 +1,50 @@
+// Shared driver for E2/E3/E4: TPC-C throughput vs client count for one
+// engine profile, across deployment modes, on a shared rotating disk.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace rlbench {
+
+inline void RunTpccClientSweep(const char* experiment,
+                               const rldb::EngineProfile& profile) {
+  const std::vector<int> client_counts = {1, 2, 4, 8, 16, 32};
+  const struct {
+    const char* name;
+    rlharness::DeploymentMode mode;
+  } arms[] = {
+      {"native", rlharness::DeploymentMode::kNative},
+      {"virt", rlharness::DeploymentMode::kVirt},
+      {"rapilog", rlharness::DeploymentMode::kRapiLog},
+      {"unsafe", rlharness::DeploymentMode::kUnsafeAsync},
+  };
+
+  PrintHeader(std::string(experiment) + ": TPC-C-lite throughput (txns/s) " +
+              "vs clients, profile=" + profile.name + ", shared HDD");
+  PrintRow({"clients", "native", "virt", "rapilog", "unsafe", "rapi/virt"});
+
+  for (int clients : client_counts) {
+    std::vector<double> rates;
+    for (const auto& arm : arms) {
+      TpccRunConfig cfg;
+      cfg.testbed = DefaultTestbed(arm.mode,
+                                   rlharness::DiskSetup::kSharedHdd, profile);
+      cfg.tpcc = DefaultTpcc();
+      cfg.clients = clients;
+      const RunResult result = RunTpcc(cfg);
+      rates.push_back(result.txns_per_sec);
+    }
+    PrintRow({Fmt(clients, "%.0f"), Fmt(rates[0], "%.0f"),
+              Fmt(rates[1], "%.0f"), Fmt(rates[2], "%.0f"),
+              Fmt(rates[3], "%.0f"),
+              Fmt(rates[1] > 0 ? rates[2] / rates[1] : 0, "%.2fx")});
+  }
+  std::printf(
+      "\nExpected shape: rapilog >= virt everywhere, approaching the unsafe "
+      "upper bound;\nnative vs virt gap is the virtualisation overhead.\n");
+}
+
+}  // namespace rlbench

@@ -1,0 +1,105 @@
+// Power-budget explorer: how the electrical configuration translates into
+// RapiLog's admission budget, and what happens when the budget is wrong.
+//
+//   ./power_budget
+#include <cstdio>
+#include <vector>
+
+#include "src/power/power.h"
+#include "src/rapilog/rapilog_device.h"
+#include "src/sim/simulator.h"
+#include "src/storage/block_device.h"
+
+using rlsim::Duration;
+using rlsim::Simulator;
+using rlsim::Task;
+
+namespace {
+
+class DiskOnRails : public rlpow::PowerSink {
+ public:
+  explicit DiskOnRails(rlstor::SimBlockDevice& disk) : disk_(disk) {}
+  void OnPowerDown() override { disk_.PowerLoss(); }
+  void OnPowerRestore() override { disk_.PowerRestore(); }
+
+ private:
+  rlstor::SimBlockDevice& disk_;
+};
+
+// Fills the buffer to its cap, cuts the mains, and reports whether the
+// emergency flush beat the rails.
+bool TrialSurvives(double claimed_drain_mbps, bool guard) {
+  Simulator sim(5);
+  rlpow::PowerSupply psu(sim, rlpow::PsuParams{});
+  rlstor::SimBlockDevice disk(
+      sim,
+      rlstor::SimBlockDevice::Options{.geometry = {.sector_count = 1 << 20}},
+      rlstor::MakeDefaultHdd());
+  rapilog::RapiLogOptions opt;
+  opt.worst_case_drain_mbps = claimed_drain_mbps;
+  opt.enable_power_guard = guard;
+  rapilog::RapiLogDevice rapi(sim, psu, disk, opt);
+  DiskOnRails rails(disk);
+  psu.Register(&rails);
+
+  sim.Spawn([](Simulator& s, rlpow::PowerSupply& supply,
+               rapilog::RapiLogDevice& dev) -> Task<void> {
+    // Fill the buffer to the admission limit with sequential log blocks.
+    uint64_t lba = 0;
+    const std::vector<uint8_t> block(8192, 0x7A);
+    while (dev.buffered_bytes() + block.size() <= dev.max_buffer_bytes()) {
+      co_await dev.Write(lba, block, false);
+      lba += 16;
+    }
+    supply.CutMains();
+    co_await s.Sleep(Duration::Zero());
+  }(sim, psu, rapi));
+  sim.Run();
+  return !rapi.lost_data();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Budget derivation for a commodity ATX PSU (16 ms hold-up at "
+              "full load):\n\n");
+  std::printf("%-22s %-12s %-12s\n", "load", "window", "budget");
+  for (const double load : {400.0, 300.0, 200.0, 100.0}) {
+    Simulator sim;
+    rlpow::PsuParams p;
+    p.system_load_watts = load;
+    rlpow::PowerSupply psu(sim, p);
+    rlstor::SimBlockDevice disk(
+        sim,
+        rlstor::SimBlockDevice::Options{.geometry = {.sector_count = 1 << 20}},
+        rlstor::MakeDefaultHdd());
+    rapilog::RapiLogDevice rapi(sim, psu, disk, rapilog::RapiLogOptions{});
+    std::printf("%-22s %-12s %llu KiB\n",
+                (std::to_string(static_cast<int>(load)) + " W").c_str(),
+                rlsim::ToString(psu.GuaranteedWindowAfterWarning()).c_str(),
+                static_cast<unsigned long long>(rapi.max_buffer_bytes() /
+                                                1024));
+  }
+
+  std::printf("\nFull-buffer plug-pull trials (does the emergency flush beat "
+              "the rails?):\n\n");
+  struct TrialSpec {
+    const char* name;
+    double mbps;
+    bool guard;
+  };
+  const TrialSpec trials[] = {
+      {"honest budget (40 MB/s), guard on", 40.0, true},
+      {"overstated budget (400 MB/s), guard on", 400.0, true},
+      {"honest budget, guard OFF (ablation)", 40.0, false},
+  };
+  for (const TrialSpec& t : trials) {
+    const bool ok = TrialSurvives(t.mbps, t.guard);
+    std::printf("  %-42s -> %s\n", t.name,
+                ok ? "no data lost" : "ACKED DATA LOST");
+  }
+  std::printf(
+      "\nThe budget must be honest: it is the contract between the admission\n"
+      "control and the electrons left in the PSU capacitors.\n");
+  return 0;
+}

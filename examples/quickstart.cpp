@@ -1,0 +1,102 @@
+// Quickstart: the RapiLog public API in ~60 effective lines.
+//
+// Builds the minimal trusted stack by hand — power supply, one disk,
+// RapiLogDevice — writes through it, pulls the plug, and shows that every
+// acknowledged byte survived on the medium.
+//
+//   ./quickstart
+#include <cstdio>
+#include <vector>
+
+#include "src/power/power.h"
+#include "src/rapilog/rapilog_device.h"
+#include "src/sim/simulator.h"
+#include "src/storage/block_device.h"
+
+using rapilog::RapiLogDevice;
+using rlsim::Duration;
+using rlsim::Simulator;
+using rlsim::Task;
+
+namespace {
+
+// Powers the disk off/on with the rails.
+class DiskOnRails : public rlpow::PowerSink {
+ public:
+  explicit DiskOnRails(rlstor::SimBlockDevice& disk) : disk_(disk) {}
+  void OnPowerDown() override { disk_.PowerLoss(); }
+  void OnPowerRestore() override { disk_.PowerRestore(); }
+
+ private:
+  rlstor::SimBlockDevice& disk_;
+};
+
+}  // namespace
+
+int main() {
+  Simulator sim;
+
+  // A commodity PSU: ~32 ms of hold-up at half load, power-fail warning
+  // 200 us after AC loss.
+  rlpow::PowerSupply psu(sim, rlpow::PsuParams{});
+
+  // A 7200 rpm disk with a volatile write-back cache.
+  rlstor::SimBlockDevice disk(
+      sim,
+      rlstor::SimBlockDevice::Options{.geometry = {.sector_count = 1 << 20},
+                                      .name = "log-disk"},
+      rlstor::MakeDefaultHdd());
+
+  // RapiLog in front of it. It registers with the PSU (to get the power-fail
+  // warning) and derives its buffer budget from the hold-up window.
+  RapiLogDevice rapi(sim, psu, disk, rapilog::RapiLogOptions{});
+  DiskOnRails rails(disk);
+  psu.Register(&rails);
+
+  std::printf("RapiLog admission budget: %llu KiB (from a %s hold-up)\n",
+              static_cast<unsigned long long>(rapi.max_buffer_bytes() / 1024),
+              rlsim::ToString(psu.GuaranteedWindowAfterWarning()).c_str());
+
+  sim.Spawn([](Simulator& s, rlpow::PowerSupply& supply,
+               RapiLogDevice& dev) -> Task<void> {
+    // 64 "log writes" of 4 KiB each. Each ack returns in microseconds even
+    // though the disk needs milliseconds per durable write.
+    const rlsim::TimePoint t0 = s.now();
+    for (uint64_t i = 0; i < 64; ++i) {
+      const std::vector<uint8_t> block(4096, static_cast<uint8_t>(i));
+      const rlstor::BlockStatus st =
+          co_await dev.Write(i * 8, block, /*fua=*/false);
+      if (st != rlstor::BlockStatus::kOk) {
+        std::printf("write %llu failed: %s\n",
+                    static_cast<unsigned long long>(i),
+                    rlstor::ToString(st).c_str());
+        co_return;
+      }
+    }
+    std::printf("64 x 4 KiB writes acknowledged in %s (still buffered: %llu KiB)\n",
+                rlsim::ToString(s.now() - t0).c_str(),
+                static_cast<unsigned long long>(dev.buffered_bytes() / 1024));
+
+    // Pull the plug mid-drain. The PowerGuard flushes the buffer within the
+    // hold-up window before the rails drop.
+    supply.CutMains();
+  }(sim, psu, rapi));
+
+  sim.Run();  // runs to quiescence: warning -> emergency flush -> power down
+
+  // Inspect the medium: every acknowledged sector must be durable.
+  uint64_t durable = 0;
+  for (uint64_t i = 0; i < 64 * 8; ++i) {
+    if (disk.image().state(i) == rlstor::SectorState::kDurable) {
+      ++durable;
+    }
+  }
+  std::printf("after power cut: %llu/512 acknowledged sectors durable, "
+              "lost_data=%s\n",
+              static_cast<unsigned long long>(durable),
+              rapi.lost_data() ? "YES (bug!)" : "no");
+  std::printf("emergency flushes: %lld, drained bytes: %lld\n",
+              static_cast<long long>(rapi.stats().emergency_flushes.value()),
+              static_cast<long long>(rapi.stats().drained_bytes.value()));
+  return rapi.lost_data() ? 1 : 0;
+}

@@ -1,0 +1,193 @@
+#include "src/db/buffer_pool.h"
+
+#include <algorithm>
+
+#include "src/db/errors.h"
+#include "src/db/layout.h"
+#include "src/sim/check.h"
+
+namespace rldb {
+
+using rlsim::Task;
+using rlstor::BlockStatus;
+
+BufferPool::BufferPool(rlsim::Simulator& sim, rlstor::BlockDevice& device,
+                       uint32_t page_bytes, uint32_t frame_count)
+    : sim_(sim), device_(device), page_bytes_(page_bytes) {
+  RL_CHECK(page_bytes_ % rlstor::kSectorSize == 0);
+  RL_CHECK(frame_count >= 8);
+  frames_.resize(frame_count);
+  for (Frame& f : frames_) {
+    f.data.resize(page_bytes_);
+  }
+}
+
+BufferPool::Frame* BufferPool::FindResident(uint64_t page_id) {
+  const auto it = page_to_frame_.find(page_id);
+  if (it == page_to_frame_.end()) {
+    return nullptr;
+  }
+  Frame* f = &frames_[it->second];
+  ++f->pins;
+  f->referenced = true;
+  return f;
+}
+
+BufferPool::Frame* BufferPool::EvictOne() {
+  // CLOCK over clean, unpinned, valid frames; invalid frames are free.
+  const size_t n = frames_.size();
+  for (size_t step = 0; step < 2 * n; ++step) {
+    Frame& f = frames_[clock_hand_];
+    clock_hand_ = (clock_hand_ + 1) % n;
+    if (!f.valid) {
+      return &f;
+    }
+    if (f.pins > 0 || f.dirty || f.in_checkpoint) {
+      continue;
+    }
+    if (f.referenced) {
+      f.referenced = false;
+      continue;
+    }
+    page_to_frame_.erase(f.page_id);
+    f.valid = false;
+    stats_.evictions.Add();
+    return &f;
+  }
+  RL_UNREACHABLE(
+      "buffer pool exhausted: every frame is pinned or dirty — the engine "
+      "must checkpoint before the dirty set fills the pool");
+}
+
+Task<BufferPool::Frame*> BufferPool::Fetch(uint64_t page_id) {
+  stats_.fetches.Add();
+  while (true) {
+    if (Frame* f = FindResident(page_id)) {
+      stats_.hits.Add();
+      co_return f;
+    }
+    // Someone else already reading this page? Wait, then retry the lookup.
+    if (auto it = pending_reads_.find(page_id); it != pending_reads_.end()) {
+      auto completion = it->second;
+      co_await completion->Wait();
+      continue;
+    }
+    break;
+  }
+  stats_.misses.Add();
+  auto completion = std::make_shared<rlsim::Completion<bool>>(sim_);
+  pending_reads_.emplace(page_id, completion);
+
+  Frame* f = EvictOne();
+  const rlsim::TimePoint start = sim_.now();
+  bool ok = false;
+  try {
+    ok = co_await ReadPageDirect(page_id, f->data);
+  } catch (...) {
+    // The machine died under the read (e.g. guest crash unwinding the
+    // paravirtual request). Resolve the pending-read record so waiters do
+    // not park forever on a completion nobody will ever fire — each retries
+    // and unwinds through its own failure path.
+    pending_reads_.erase(page_id);
+    completion->Complete(false);
+    throw;
+  }
+  if (!ok) {
+    pending_reads_.erase(page_id);
+    completion->Complete(false);
+    throw EngineHalted();
+  }
+  RL_CHECK_MSG(PageValid(f->data, page_id),
+               "corrupt page " << page_id
+                               << " reached the buffer pool (recovery must "
+                                  "repair pages first)");
+  stats_.read_latency.RecordDuration(sim_.now() - start);
+  stats_.page_reads.Add();
+
+  f->page_id = page_id;
+  f->valid = true;
+  f->dirty = false;
+  f->pins = 1;
+  f->referenced = true;
+  page_to_frame_[page_id] = static_cast<size_t>(f - frames_.data());
+  pending_reads_.erase(page_id);
+  completion->Complete(true);
+  co_return f;
+}
+
+BufferPool::Frame* BufferPool::Create(uint64_t page_id) {
+  RL_CHECK_MSG(page_to_frame_.find(page_id) == page_to_frame_.end(),
+               "Create of resident page " << page_id);
+  Frame* f = EvictOne();
+  std::fill(f->data.begin(), f->data.end(), uint8_t{0});
+  f->page_id = page_id;
+  f->valid = true;
+  f->dirty = true;
+  ++dirty_count_;
+  f->pins = 1;
+  f->referenced = true;
+  page_to_frame_[page_id] = static_cast<size_t>(f - frames_.data());
+  return f;
+}
+
+void BufferPool::Unpin(Frame* frame, bool mark_dirty) {
+  RL_CHECK(frame != nullptr && frame->pins > 0);
+  if (mark_dirty && !frame->dirty) {
+    frame->dirty = true;
+    ++dirty_count_;
+  }
+  --frame->pins;
+}
+
+std::vector<BufferPool::Frame*> BufferPool::DirtyFrames() {
+  std::vector<Frame*> out;
+  for (Frame& f : frames_) {
+    if (f.valid && f.dirty) {
+      out.push_back(&f);
+    }
+  }
+  return out;
+}
+
+void BufferPool::MarkClean(Frame* frame) {
+  if (frame->dirty) {
+    frame->dirty = false;
+    RL_CHECK(dirty_count_ > 0);
+    --dirty_count_;
+  }
+}
+
+void BufferPool::Reset() {
+  for (Frame& f : frames_) {
+    f.valid = false;
+    f.dirty = false;
+    f.in_checkpoint = false;
+    f.pins = 0;
+    f.referenced = false;
+  }
+  page_to_frame_.clear();
+  pending_reads_.clear();
+  dirty_count_ = 0;
+}
+
+Task<bool> BufferPool::WritePageDirect(uint64_t page_id,
+                                       std::span<const uint8_t> image,
+                                       bool fua) {
+  RL_CHECK(image.size() == page_bytes_);
+  const BlockStatus st =
+      co_await device_.Write(PageLba(page_id, page_bytes_), image, fua);
+  if (st == BlockStatus::kOk) {
+    stats_.page_writes.Add();
+  }
+  co_return st == BlockStatus::kOk;
+}
+
+Task<bool> BufferPool::ReadPageDirect(uint64_t page_id,
+                                      std::span<uint8_t> out) {
+  RL_CHECK(out.size() == page_bytes_);
+  const BlockStatus st =
+      co_await device_.Read(PageLba(page_id, page_bytes_), out);
+  co_return st == BlockStatus::kOk;
+}
+
+}  // namespace rldb

@@ -1,0 +1,101 @@
+// Buffer pool: fixed set of page frames over the data device.
+//
+// Eviction policy is CLOCK over *clean, unpinned* frames only: dirty pages
+// are never written back individually (in-place page writes happen solely
+// inside the journaled checkpoint, which is what makes recovery see a
+// structurally consistent B+-tree — see Database::Checkpoint). The engine
+// checkpoints before the dirty set can exhaust the pool.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+#include "src/sim/sync.h"
+#include "src/storage/block_device.h"
+
+namespace rldb {
+
+class BufferPool {
+ public:
+  struct Frame {
+    uint64_t page_id = 0;
+    bool valid = false;
+    bool dirty = false;
+    // Set while a checkpoint has staged this frame's image but not yet
+    // persisted it in place: the frame must not be evicted (a re-fetch from
+    // the device would resurrect the pre-checkpoint version).
+    bool in_checkpoint = false;
+    int pins = 0;
+    bool referenced = false;  // CLOCK bit
+    std::vector<uint8_t> data;
+  };
+
+  struct Stats {
+    rlsim::Counter fetches;
+    rlsim::Counter hits;
+    rlsim::Counter misses;
+    rlsim::Counter evictions;
+    rlsim::Counter page_reads;
+    rlsim::Counter page_writes;
+    rlsim::Histogram read_latency;  // ns, device reads only
+  };
+
+  BufferPool(rlsim::Simulator& sim, rlstor::BlockDevice& device,
+             uint32_t page_bytes, uint32_t frame_count);
+
+  // Pins the page (reading it from the device on a miss). Page contents are
+  // CRC-validated on read; a mismatch is a fatal CheckFailure (recovery must
+  // repair pages before the pool touches them).
+  rlsim::Task<Frame*> Fetch(uint64_t page_id);
+
+  // Pins a fresh all-zero frame for a newly allocated page (no device read).
+  Frame* Create(uint64_t page_id);
+
+  void Unpin(Frame* frame, bool mark_dirty);
+
+  // Pinned lookup without I/O; nullptr if not resident.
+  Frame* FindResident(uint64_t page_id);
+
+  // All dirty frames (checkpoint input).
+  std::vector<Frame*> DirtyFrames();
+  size_t dirty_count() const { return dirty_count_; }
+
+  // Marks a frame clean (checkpoint wrote it out).
+  void MarkClean(Frame* frame);
+
+  // Drops every frame (crash simulation: the guest's memory is gone).
+  void Reset();
+
+  uint32_t page_bytes() const { return page_bytes_; }
+  uint32_t frame_count() const { return static_cast<uint32_t>(frames_.size()); }
+  const Stats& stats() const { return stats_; }
+
+  // Direct device I/O helpers used by checkpoint/recovery (bypass frames).
+  rlsim::Task<bool> WritePageDirect(uint64_t page_id,
+                                    std::span<const uint8_t> image,
+                                    bool fua);
+  rlsim::Task<bool> ReadPageDirect(uint64_t page_id,
+                                   std::span<uint8_t> out);
+  rlstor::BlockDevice& device() { return device_; }
+
+ private:
+  Frame* EvictOne();
+
+  rlsim::Simulator& sim_;
+  rlstor::BlockDevice& device_;
+  uint32_t page_bytes_;
+  std::vector<Frame> frames_;
+  std::unordered_map<uint64_t, size_t> page_to_frame_;
+  // In-flight reads so concurrent fetches of one page issue one device read.
+  std::unordered_map<uint64_t, std::shared_ptr<rlsim::Completion<bool>>>
+      pending_reads_;
+  size_t clock_hand_ = 0;
+  size_t dirty_count_ = 0;
+  Stats stats_;
+};
+
+}  // namespace rldb

@@ -1,0 +1,42 @@
+// Where the engine's CPU work is charged: directly to the simulator when
+// running "native", or to a VirtualMachine (overhead factor, crash unwinding)
+// when running inside a guest.
+#pragma once
+
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+#include "src/vmm/vm.h"
+
+namespace rldb {
+
+class CpuContext {
+ public:
+  virtual ~CpuContext() = default;
+  virtual rlsim::Task<void> Compute(rlsim::Duration work) = 0;
+};
+
+class NativeCpu : public CpuContext {
+ public:
+  explicit NativeCpu(rlsim::Simulator& sim) : sim_(sim) {}
+
+  rlsim::Task<void> Compute(rlsim::Duration work) override {
+    co_await sim_.Sleep(work);
+  }
+
+ private:
+  rlsim::Simulator& sim_;
+};
+
+class GuestCpu : public CpuContext {
+ public:
+  explicit GuestCpu(rlvmm::VirtualMachine& vm) : vm_(vm) {}
+
+  rlsim::Task<void> Compute(rlsim::Duration work) override {
+    co_await vm_.Compute(work);
+  }
+
+ private:
+  rlvmm::VirtualMachine& vm_;
+};
+
+}  // namespace rldb

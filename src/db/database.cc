@@ -1,0 +1,589 @@
+#include "src/db/database.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "src/db/errors.h"
+#include "src/sim/check.h"
+#include "src/sim/crc32.h"
+
+namespace rldb {
+
+using rlsim::Task;
+using rlsim::TimePoint;
+using rlstor::BlockStatus;
+using rlstor::kSectorSize;
+
+std::string ToString(DbStatus s) {
+  switch (s) {
+    case DbStatus::kOk:
+      return "ok";
+    case DbStatus::kNotFound:
+      return "not-found";
+    case DbStatus::kLockTimeout:
+      return "lock-timeout";
+    case DbStatus::kTxnNotActive:
+      return "txn-not-active";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Journal header page payload (after the 32-byte page header):
+//   [u64 seq][u32 count][count * u64 page_id][serialised MetaContent sector]
+constexpr size_t kJournalSeqOff = kPageHeaderBytes;
+constexpr size_t kJournalCountOff = kJournalSeqOff + 8;
+constexpr size_t kJournalIdsOff = kJournalCountOff + 4;
+
+constexpr uint64_t kJournalHeaderPage = 0;
+
+// Page-id entries that fit in one journal header page alongside the
+// embedded metadata sector.
+uint32_t JournalHeaderCapacity(uint32_t page_bytes) {
+  return static_cast<uint32_t>(
+      (page_bytes - kJournalIdsOff - rlstor::kSectorSize) / 8);
+}
+
+}  // namespace
+
+Database::Database(rlsim::Simulator& sim, CpuContext& cpu,
+                   rlstor::BlockDevice& data_dev,
+                   rlstor::BlockDevice& log_dev, DbOptions options)
+    : sim_(sim),
+      cpu_(cpu),
+      data_dev_(data_dev),
+      log_dev_(log_dev),
+      options_(std::move(options)) {
+  RL_CHECK_MSG(options_.journal_pages >
+                   options_.profile.checkpoint_dirty_pages,
+               "journal must be able to hold a full checkpoint");
+  RL_CHECK_MSG(options_.pool_pages > options_.profile.checkpoint_dirty_pages,
+               "pool must be able to hold the dirty threshold");
+  pool_ = std::make_unique<BufferPool>(sim_, data_dev_,
+                                       options_.profile.page_bytes,
+                                       options_.pool_pages);
+  wal_ = std::make_unique<LogWriter>(sim_, log_dev_, options_.profile,
+                                     options_.durability);
+  locks_ = std::make_unique<LockManager>(sim_, options_.profile.lock_timeout);
+  apply_mutex_ = std::make_unique<rlsim::SimMutex>(sim_);
+  checkpoint_mutex_ = std::make_unique<rlsim::SimMutex>(sim_);
+  checkpoint_done_ = std::make_unique<rlsim::WaitQueue>(sim_);
+
+  // A checkpoint's dirty set must fit the journal region AND its header
+  // page; commits throttle safely below that, and the automatic checkpoint
+  // threshold sits below the throttle so the stall is normally never hit.
+  const uint32_t capacity =
+      std::min<uint32_t>(JournalHeaderCapacity(options_.profile.page_bytes),
+                         options_.journal_pages - 1);
+  dirty_throttle_pages_ = std::min(capacity - capacity / 8,
+                                   options_.pool_pages * 3 / 4);
+  RL_CHECK_MSG(options_.profile.checkpoint_dirty_pages < dirty_throttle_pages_,
+               "checkpoint threshold must sit below the dirty throttle ("
+                   << dirty_throttle_pages_ << " pages)");
+}
+
+Task<void> Database::ThrottleDirtyPages() {
+  while (pool_->dirty_count() >= dirty_throttle_pages_) {
+    if (closing_) {
+      throw EngineHalted();
+    }
+    MaybeScheduleCheckpoint();
+    co_await checkpoint_done_->Wait();
+  }
+}
+
+Database::~Database() = default;
+
+Task<void> Database::Close() {
+  closing_ = true;
+  // Begin the WAL shutdown first: a pending checkpoint may be blocked inside
+  // Force(), and the shutdown signal is what unwinds it. Then wake every
+  // other place a client coroutine can be parked — lock queues and the
+  // dirty-page throttle — so nothing still references this object (or gets
+  // resumed into it by a stale timeout event) after we return.
+  wal_->BeginShutdown();
+  locks_->Shutdown();
+  checkpoint_done_->NotifyAll();
+  while (checkpoint_pending_) {
+    co_await checkpoint_done_->Wait();
+  }
+  co_await wal_->Shutdown();
+  // One settle tick: waiters woken above run before Close() returns.
+  co_await sim_.Sleep(rlsim::Duration::Zero());
+}
+
+Task<std::unique_ptr<Database>> Database::Open(rlsim::Simulator& sim,
+                                               CpuContext& cpu,
+                                               rlstor::BlockDevice& data_dev,
+                                               rlstor::BlockDevice& log_dev,
+                                               DbOptions options) {
+  std::unique_ptr<Database> db(
+      new Database(sim, cpu, data_dev, log_dev, std::move(options)));
+  co_await db->Recover();
+  co_return db;
+}
+
+// --- Metadata & journal ------------------------------------------------------
+
+Task<std::optional<MetaContent>> Database::ReadBestMeta() {
+  std::optional<MetaContent> best;
+  for (uint64_t sector : {kMetaSectorA, kMetaSectorB}) {
+    std::vector<uint8_t> buf(kSectorSize);
+    const BlockStatus st = co_await data_dev_.Read(sector, buf);
+    if (st != BlockStatus::kOk) {
+      continue;
+    }
+    const auto meta = DeserializeMeta(buf);
+    if (meta.has_value() && (!best.has_value() || meta->seq > best->seq)) {
+      best = meta;
+    }
+  }
+  co_return best;
+}
+
+Task<void> Database::WriteMeta(const MetaContent& meta) {
+  const std::vector<uint8_t> buf = SerializeMeta(meta);
+  const uint64_t sector = (meta.seq % 2 == 0) ? kMetaSectorA : kMetaSectorB;
+  const BlockStatus st = co_await data_dev_.Write(sector, buf, /*fua=*/true);
+  if (st != BlockStatus::kOk) {
+    throw EngineHalted();
+  }
+}
+
+Task<bool> Database::ReplayJournalIfNewer(uint64_t meta_seq,
+                                          MetaContent* meta_out) {
+  const uint32_t page_bytes = options_.profile.page_bytes;
+  std::vector<uint8_t> header(page_bytes);
+  const bool ok = co_await pool_->ReadPageDirect(kJournalHeaderPage, header);
+  if (!ok || !PageValid(header, kJournalHeaderPage)) {
+    co_return false;
+  }
+  if (ReadPageHeader(header).type != PageType::kJournalHeader) {
+    co_return false;
+  }
+  const uint64_t jseq = LoadScalar<uint64_t>(header, kJournalSeqOff);
+  if (jseq <= meta_seq) {
+    co_return false;  // journal is from a completed (or older) checkpoint
+  }
+  const uint32_t count = LoadScalar<uint32_t>(header, kJournalCountOff);
+  RL_CHECK(kJournalIdsOff + count * 8ull + kSectorSize <= page_bytes);
+
+  // The checkpoint committed but its in-place writes may be incomplete:
+  // copy every journaled page image into place.
+  std::vector<uint8_t> image(page_bytes);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint64_t page_id =
+        LoadScalar<uint64_t>(header, kJournalIdsOff + i * 8ull);
+    const uint64_t slot = 1 + i;
+    const bool read_ok = co_await pool_->ReadPageDirect(slot, image);
+    RL_CHECK_MSG(read_ok && PageValid(image, page_id),
+                 "journal slot " << slot << " corrupt for page " << page_id);
+    const bool write_ok =
+        co_await pool_->WritePageDirect(page_id, image, /*fua=*/false);
+    RL_CHECK(write_ok);
+    stats_.repaired_from_journal.Add();
+  }
+  co_await data_dev_.Flush();
+
+  // The journal header embeds the metadata of the committed checkpoint.
+  const auto meta = DeserializeMeta(std::span<const uint8_t>(
+      header.data() + kJournalIdsOff + count * 8ull, kSectorSize));
+  RL_CHECK_MSG(meta.has_value(), "journal meta corrupt");
+  *meta_out = *meta;
+  // Persist it into the regular slots so the next open is clean.
+  co_await WriteMeta(*meta_out);
+  co_return true;
+}
+
+// --- Recovery ----------------------------------------------------------------
+
+Task<void> Database::FormatFresh() {
+  meta_ = MetaContent{};
+  meta_.seq = 1;
+  meta_.root_page = 0;
+  meta_.next_free_page = options_.journal_pages;  // data pages follow journal
+  meta_.replay_block = 0;
+  meta_.replay_lsn = 1;
+  meta_.page_bytes = options_.profile.page_bytes;
+  co_await WriteMeta(meta_);
+  co_await data_dev_.Flush();
+  root_ = 0;
+  next_free_page_ = meta_.next_free_page;
+  wal_->ResumeAt(/*next_block=*/0, /*next_lsn=*/1);
+}
+
+Task<void> Database::Recover() {
+  tree_ = std::make_unique<BTree>(*pool_, options_.profile.value_bytes,
+                                  &next_free_page_);
+  auto meta = co_await ReadBestMeta();
+  MetaContent journal_meta;
+  if (co_await ReplayJournalIfNewer(meta.has_value() ? meta->seq : 0,
+                                    &journal_meta)) {
+    meta = journal_meta;
+  }
+  if (!meta.has_value()) {
+    co_await FormatFresh();
+    co_return;
+  }
+  RL_CHECK_MSG(meta->page_bytes == options_.profile.page_bytes,
+               "page size mismatch: on-disk " << meta->page_bytes
+                                              << ", profile "
+                                              << options_.profile.page_bytes);
+  meta_ = *meta;
+  root_ = meta_.root_page;
+  next_free_page_ = meta_.next_free_page;
+
+  // Replay the committed suffix of the WAL.
+  const LogScanResult scan =
+      co_await ScanLog(log_dev_, options_.profile, meta_.replay_block);
+  std::unordered_set<uint64_t> committed;
+  for (const LogRecord& rec : scan.records) {
+    if (rec.type == LogRecordType::kCommit) {
+      committed.insert(rec.txn_id);
+    }
+  }
+  for (const LogRecord& rec : scan.records) {
+    if (rec.type == LogRecordType::kCommit ||
+        !committed.contains(rec.txn_id)) {
+      continue;
+    }
+    co_await ApplyRecord(rec);
+    stats_.recovered_records.Add();
+    if (pool_->dirty_count() >= dirty_throttle_pages_) {
+      auto guard = co_await apply_mutex_->Lock();
+      co_await CheckpointLocked();
+    }
+  }
+  wal_->ResumeAt(scan.next_block, scan.next_lsn);
+
+  // Persist the recovered state so the next crash replays less.
+  if (!scan.records.empty() || pool_->dirty_count() > 0) {
+    auto guard = co_await apply_mutex_->Lock();
+    co_await CheckpointLocked();
+  }
+}
+
+Task<void> Database::ApplyRecord(const LogRecord& rec) {
+  switch (rec.type) {
+    case LogRecordType::kUpdate:
+      root_ = co_await tree_->Put(root_, rec.key, rec.value);
+      break;
+    case LogRecordType::kDelete:
+      root_ = co_await tree_->Remove(root_, rec.key);
+      break;
+    case LogRecordType::kCommit:
+      break;
+  }
+}
+
+// --- Transactions ------------------------------------------------------------
+
+uint64_t Database::Begin() {
+  const uint64_t id = next_txn_id_++;
+  txns_.emplace(id, Txn{.id = id});
+  return id;
+}
+
+Task<DbStatus> Database::Get(uint64_t txn, uint64_t key,
+                             std::vector<uint8_t>* value_out) {
+  const auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    co_return DbStatus::kTxnNotActive;
+  }
+  co_await cpu_.Compute(options_.profile.cpu_per_get);
+  if (!co_await locks_->Acquire(txn, key)) {
+    co_await Abort(txn);
+    co_return DbStatus::kLockTimeout;
+  }
+  // Read-your-writes: newest op in the write-set wins.
+  for (auto op = it->second.ops.rbegin(); op != it->second.ops.rend(); ++op) {
+    if (op->key == key) {
+      if (op->is_delete) {
+        co_return DbStatus::kNotFound;
+      }
+      if (value_out != nullptr) {
+        *value_out = op->value;
+      }
+      co_return DbStatus::kOk;
+    }
+  }
+  const bool found = co_await tree_->Get(root_, key, value_out);
+  co_return found ? DbStatus::kOk : DbStatus::kNotFound;
+}
+
+Task<DbStatus> Database::Put(uint64_t txn, uint64_t key,
+                             std::span<const uint8_t> value) {
+  const auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    co_return DbStatus::kTxnNotActive;
+  }
+  RL_CHECK(value.size() == options_.profile.value_bytes);
+  co_await cpu_.Compute(options_.profile.cpu_per_put);
+  if (!co_await locks_->Acquire(txn, key)) {
+    co_await Abort(txn);
+    co_return DbStatus::kLockTimeout;
+  }
+  WriteOp op;
+  op.key = key;
+  op.value.assign(value.begin(), value.end());
+  it->second.ops.push_back(std::move(op));
+  co_return DbStatus::kOk;
+}
+
+Task<DbStatus> Database::Remove(uint64_t txn, uint64_t key) {
+  const auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    co_return DbStatus::kTxnNotActive;
+  }
+  co_await cpu_.Compute(options_.profile.cpu_per_put);
+  if (!co_await locks_->Acquire(txn, key)) {
+    co_await Abort(txn);
+    co_return DbStatus::kLockTimeout;
+  }
+  WriteOp op;
+  op.is_delete = true;
+  op.key = key;
+  it->second.ops.push_back(std::move(op));
+  co_return DbStatus::kOk;
+}
+
+Task<DbStatus> Database::Commit(uint64_t txn) {
+  const auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    co_return DbStatus::kTxnNotActive;
+  }
+  Txn& t = it->second;
+  const TimePoint start = sim_.now();
+  co_await cpu_.Compute(options_.profile.cpu_per_commit);
+
+  if (t.ops.empty()) {
+    locks_->ReleaseAll(txn);
+    txns_.erase(it);
+    stats_.commits.Add();
+    stats_.commit_latency.RecordDuration(sim_.now() - start);
+    co_return DbStatus::kOk;
+  }
+
+  t.committing = true;
+  // Log every operation, then the commit record.
+  for (const WriteOp& op : t.ops) {
+    LogRecord rec;
+    rec.type = op.is_delete ? LogRecordType::kDelete : LogRecordType::kUpdate;
+    rec.txn_id = txn;
+    rec.key = op.key;
+    rec.value = op.value;
+    const uint64_t lsn = wal_->Append(std::move(rec));
+    if (t.first_lsn == 0) {
+      t.first_lsn = lsn;
+    }
+  }
+  LogRecord commit;
+  commit.type = LogRecordType::kCommit;
+  commit.txn_id = txn;
+  const uint64_t commit_lsn = wal_->Append(std::move(commit));
+
+  co_await wal_->WaitDurable(commit_lsn);
+
+  // Dirty-page throttle: never let the apply outrun what a checkpoint can
+  // journal (InnoDB-style furious-flushing backstop).
+  co_await ThrottleDirtyPages();
+
+  // Apply the write-set to the tree under the apply/checkpoint mutex.
+  {
+    auto guard = co_await apply_mutex_->Lock();
+    for (const WriteOp& op : t.ops) {
+      if (op.is_delete) {
+        root_ = co_await tree_->Remove(root_, op.key);
+      } else {
+        root_ = co_await tree_->Put(root_, op.key, op.value);
+      }
+    }
+  }
+
+  locks_->ReleaseAll(txn);
+  txns_.erase(it);
+  stats_.commits.Add();
+  stats_.commit_latency.RecordDuration(sim_.now() - start);
+  MaybeScheduleCheckpoint();
+  co_return DbStatus::kOk;
+}
+
+Task<void> Database::Abort(uint64_t txn) {
+  const auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    co_return;
+  }
+  locks_->ReleaseAll(txn);
+  txns_.erase(it);
+  stats_.aborts.Add();
+}
+
+// --- Checkpoint ----------------------------------------------------------------
+
+void Database::MaybeScheduleCheckpoint() {
+  if (closing_ || checkpoint_pending_ ||
+      pool_->dirty_count() < options_.profile.checkpoint_dirty_pages) {
+    return;
+  }
+  checkpoint_pending_ = true;
+  sim_.Spawn(
+      [](Database& db) -> Task<void> {
+        try {
+          co_await db.Checkpoint();
+        } catch (...) {
+          // Machine died mid-checkpoint; the journal makes this safe and the
+          // harness will reopen the database.
+        }
+        db.checkpoint_pending_ = false;
+        db.checkpoint_done_->NotifyAll();
+      }(*this),
+      "db-checkpoint");
+}
+
+Task<void> Database::Checkpoint() {
+  auto ckpt_guard = co_await checkpoint_mutex_->Lock();
+  StagedCheckpoint staged;
+  {
+    auto guard = co_await apply_mutex_->Lock();
+    staged = StageCheckpoint();
+  }
+  // Write-ahead rule for the checkpoint: the log covering everything staged
+  // must be durable before the staged pages overwrite old state.
+  co_await wal_->Force();
+  co_await PersistCheckpoint(std::move(staged));
+}
+
+Task<void> Database::CheckpointLocked() {
+  // Recovery path: the caller already holds the apply mutex and runs alone.
+  StagedCheckpoint staged = StageCheckpoint();
+  co_await wal_->Force();
+  co_await PersistCheckpoint(std::move(staged));
+}
+
+Database::StagedCheckpoint Database::StageCheckpoint() {
+  StagedCheckpoint staged;
+  std::vector<BufferPool::Frame*> dirty = pool_->DirtyFrames();
+  RL_CHECK_MSG(dirty.size() + 1 <= options_.journal_pages,
+               "checkpoint dirty set exceeds journal capacity");
+  RL_CHECK_MSG(dirty.size() <=
+                   JournalHeaderCapacity(options_.profile.page_bytes),
+               "checkpoint dirty set exceeds journal header capacity");
+
+  // Replay point: everything applied so far is captured by this snapshot;
+  // transactions whose records are logged but not yet applied must replay.
+  uint64_t replay_lsn = wal_->next_lsn();
+  for (const auto& [id, t] : txns_) {
+    if (t.first_lsn != 0) {
+      replay_lsn = std::min(replay_lsn, t.first_lsn);
+    }
+  }
+  // Block bound: exact when no transaction is mid-commit; otherwise fall
+  // back to the previous checkpoint's start (correct because replay is
+  // idempotent, merely conservative).
+  const uint64_t replay_block = (replay_lsn == wal_->next_lsn())
+                                    ? wal_->current_block_index()
+                                    : meta_.replay_block;
+
+  staged.meta = meta_;
+  staged.meta.seq = meta_.seq + 1;
+  staged.meta.root_page = root_;
+  staged.meta.next_free_page = next_free_page_;
+  staged.meta.replay_block = replay_block;
+  staged.meta.replay_lsn = replay_lsn;
+  staged.meta.page_bytes = options_.profile.page_bytes;
+
+  staged.pages.reserve(dirty.size());
+  for (BufferPool::Frame* f : dirty) {
+    std::vector<uint8_t> image = f->data;
+    SealPage(image, f->page_id);
+    f->in_checkpoint = true;  // pin the frame contents against eviction
+    pool_->MarkClean(f);
+    staged.pages.emplace_back(f, std::move(image));
+  }
+  return staged;
+}
+
+Task<void> Database::PersistCheckpoint(StagedCheckpoint staged) {
+  const uint32_t page_bytes = options_.profile.page_bytes;
+  auto clear_flags = [&staged] {
+    for (auto& [frame, image] : staged.pages) {
+      frame->in_checkpoint = false;
+    }
+  };
+  try {
+    // 1. Page images into the journal slots.
+    for (size_t i = 0; i < staged.pages.size(); ++i) {
+      const uint64_t slot = 1 + i;
+      const bool ok = co_await pool_->WritePageDirect(
+          slot, staged.pages[i].second, /*fua=*/false);
+      if (!ok) {
+        throw EngineHalted();
+      }
+    }
+    co_await data_dev_.Flush();
+
+    // 2. Journal header (commits the checkpoint).
+    std::vector<uint8_t> header(page_bytes, 0);
+    PageHeader jh;
+    jh.page_id = kJournalHeaderPage;
+    jh.type = PageType::kJournalHeader;
+    WritePageHeader(header, jh);
+    StoreScalar<uint64_t>(header, kJournalSeqOff, staged.meta.seq);
+    StoreScalar<uint32_t>(header, kJournalCountOff,
+                          static_cast<uint32_t>(staged.pages.size()));
+    for (size_t i = 0; i < staged.pages.size(); ++i) {
+      StoreScalar<uint64_t>(header, kJournalIdsOff + i * 8,
+                            staged.pages[i].first->page_id);
+    }
+    const std::vector<uint8_t> meta_blob = SerializeMeta(staged.meta);
+    std::copy(meta_blob.begin(), meta_blob.end(),
+              header.begin() + static_cast<ptrdiff_t>(
+                                   kJournalIdsOff + staged.pages.size() * 8));
+    SealPage(header, kJournalHeaderPage);
+    {
+      const bool ok = co_await pool_->WritePageDirect(kJournalHeaderPage,
+                                                      header, /*fua=*/true);
+      if (!ok) {
+        throw EngineHalted();
+      }
+    }
+
+    // 3. Pages in place, from the staged images.
+    for (const auto& [frame, image] : staged.pages) {
+      const bool ok = co_await pool_->WritePageDirect(frame->page_id, image,
+                                                      /*fua=*/false);
+      if (!ok) {
+        throw EngineHalted();
+      }
+    }
+    co_await data_dev_.Flush();
+
+    // 4. Metadata flips to the new checkpoint.
+    co_await WriteMeta(staged.meta);
+    co_await data_dev_.Flush();
+  } catch (...) {
+    clear_flags();
+    throw;
+  }
+  clear_flags();
+  meta_ = staged.meta;
+  stats_.checkpoints.Add();
+}
+
+// --- Introspection -------------------------------------------------------------
+
+Task<bool> Database::ReadCommitted(uint64_t key, std::vector<uint8_t>* out) {
+  co_return co_await tree_->Get(root_, key, out);
+}
+
+Task<uint64_t> Database::CommittedCount() {
+  co_return co_await tree_->Count(root_);
+}
+
+Task<void> Database::CheckTreeStructure() {
+  co_await tree_->CheckStructure(root_);
+}
+
+}  // namespace rldb

@@ -1,0 +1,185 @@
+// The storage engine façade: transactions over the B+-tree with write-ahead
+// logging, journaled (atomic) checkpoints, and crash recovery.
+//
+// Concurrency & recovery design (details in DESIGN.md):
+//   * deferred update — a transaction's writes live in its write-set and are
+//     applied to the tree only after its commit record is durable, so pages
+//     never contain uncommitted data (no-steal, no undo);
+//   * redo-only logical WAL — recovery replays SET/DELETE operations of
+//     committed transactions since the last checkpoint (idempotent);
+//   * sharp, journaled checkpoints — all dirty pages go to the on-disk
+//     journal first, then in place, then the metadata flips; a crash at any
+//     point yields either the complete old or complete new page set, so the
+//     tree recovery starts from is always structurally consistent.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/db/btree.h"
+#include "src/db/buffer_pool.h"
+#include "src/db/cpu_context.h"
+#include "src/db/layout.h"
+#include "src/db/lock_manager.h"
+#include "src/db/profile.h"
+#include "src/db/wal.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+
+namespace rldb {
+
+enum class DbStatus {
+  kOk,
+  kNotFound,
+  kLockTimeout,  // transaction was aborted; caller should retry it
+  kTxnNotActive,
+};
+
+std::string ToString(DbStatus s);
+
+struct DbOptions {
+  EngineProfile profile;
+  DurabilityMode durability = DurabilityMode::kSync;
+  uint32_t pool_pages = 4096;
+  // Journal region size in pages; must exceed profile.checkpoint_dirty_pages
+  // plus headroom for pages dirtied while a checkpoint is pending.
+  uint32_t journal_pages = 2048;
+};
+
+class Database {
+ public:
+  struct Stats {
+    rlsim::Counter commits;
+    rlsim::Counter aborts;
+    rlsim::Counter checkpoints;
+    rlsim::Counter recovered_records;
+    rlsim::Counter repaired_from_journal;
+    rlsim::Histogram commit_latency;  // ns, Commit() call to return
+  };
+
+  // Opens the database on the given devices, running recovery (journal
+  // replay + WAL replay) or formatting a fresh database as appropriate.
+  static rlsim::Task<std::unique_ptr<Database>> Open(
+      rlsim::Simulator& sim, CpuContext& cpu, rlstor::BlockDevice& data_dev,
+      rlstor::BlockDevice& log_dev, DbOptions options);
+
+  ~Database();
+
+  // Drains internal background work (pending checkpoint, WAL flusher) so the
+  // object can be destroyed safely even after a crash or power fault left
+  // I/O in flight. Client transactions that are parked forever (e.g. waiting
+  // on durability that will never come) are abandoned — their frames are
+  // reclaimed at simulator teardown.
+  rlsim::Task<void> Close();
+
+  // --- Transactions ----------------------------------------------------------
+
+  uint64_t Begin();
+
+  rlsim::Task<DbStatus> Get(uint64_t txn, uint64_t key,
+                            std::vector<uint8_t>* value_out);
+  rlsim::Task<DbStatus> Put(uint64_t txn, uint64_t key,
+                            std::span<const uint8_t> value);
+  rlsim::Task<DbStatus> Remove(uint64_t txn, uint64_t key);
+
+  // Durably commits (in kSync mode the returned ack implies the commit
+  // record is on stable storage — or buffered by RapiLog, which is the
+  // paper's durability-equivalent). kLockTimeout is never returned here.
+  rlsim::Task<DbStatus> Commit(uint64_t txn);
+
+  rlsim::Task<void> Abort(uint64_t txn);
+
+  // --- Maintenance -----------------------------------------------------------
+
+  rlsim::Task<void> Checkpoint();
+
+  // Non-transactional read of committed state (checkers/tests).
+  rlsim::Task<bool> ReadCommitted(uint64_t key, std::vector<uint8_t>* out);
+  rlsim::Task<uint64_t> CommittedCount();
+  rlsim::Task<void> CheckTreeStructure();
+
+  const Stats& stats() const { return stats_; }
+  const LogWriter& log_writer() const { return *wal_; }
+  const BufferPool& pool() const { return *pool_; }
+  const LockManager& locks() const { return *locks_; }
+  const DbOptions& options() const { return options_; }
+  uint64_t active_txns() const { return txns_.size(); }
+
+ private:
+  struct WriteOp {
+    bool is_delete = false;
+    uint64_t key = 0;
+    std::vector<uint8_t> value;
+  };
+  struct Txn {
+    uint64_t id = 0;
+    uint64_t first_lsn = 0;  // 0 until the first record is logged
+    std::vector<WriteOp> ops;
+    bool committing = false;
+  };
+
+  Database(rlsim::Simulator& sim, CpuContext& cpu,
+           rlstor::BlockDevice& data_dev, rlstor::BlockDevice& log_dev,
+           DbOptions options);
+
+  // A consistent snapshot taken under the apply mutex: sealed page images
+  // plus the metadata describing them. Staging copies memory only (zero
+  // simulated time), so commits never observe a checkpoint stall; the I/O
+  // happens afterwards from the staged images.
+  struct StagedCheckpoint {
+    MetaContent meta;
+    std::vector<std::pair<BufferPool::Frame*, std::vector<uint8_t>>> pages;
+  };
+
+  rlsim::Task<void> Recover();
+  rlsim::Task<void> FormatFresh();
+  rlsim::Task<std::optional<MetaContent>> ReadBestMeta();
+  rlsim::Task<void> WriteMeta(const MetaContent& meta);
+  rlsim::Task<bool> ReplayJournalIfNewer(uint64_t meta_seq,
+                                         MetaContent* meta_out);
+  rlsim::Task<void> ApplyRecord(const LogRecord& rec);
+  rlsim::Task<void> ThrottleDirtyPages();
+  StagedCheckpoint StageCheckpoint();  // caller must hold apply_mutex_
+  rlsim::Task<void> PersistCheckpoint(StagedCheckpoint staged);
+  rlsim::Task<void> CheckpointLocked();
+  void MaybeScheduleCheckpoint();
+
+  rlsim::Simulator& sim_;
+  CpuContext& cpu_;
+  rlstor::BlockDevice& data_dev_;
+  rlstor::BlockDevice& log_dev_;
+  DbOptions options_;
+
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<LogWriter> wal_;
+  std::unique_ptr<LockManager> locks_;
+  std::unique_ptr<BTree> tree_;
+
+  MetaContent meta_;            // current (in-memory) metadata
+  uint64_t root_ = 0;           // live tree root
+  uint64_t next_free_page_ = 0; // page allocator watermark
+
+  uint64_t next_txn_id_ = 1;
+  std::map<uint64_t, Txn> txns_;
+
+  // Dirty-page throttling: commits stall once this many pages are dirty,
+  // until a checkpoint retires them. Derived from the journal header's id
+  // capacity and the pool size.
+  uint32_t dirty_throttle_pages_ = 0;
+  // Set by Close(): parked client operations unwind with EngineHalted.
+  bool closing_ = false;
+
+  // Serialises tree mutation (commit apply) against checkpoints.
+  std::unique_ptr<rlsim::SimMutex> apply_mutex_;
+  // Serialises whole checkpoints against each other.
+  std::unique_ptr<rlsim::SimMutex> checkpoint_mutex_;
+  bool checkpoint_pending_ = false;
+  std::unique_ptr<rlsim::WaitQueue> checkpoint_done_;
+
+  Stats stats_;
+};
+
+}  // namespace rldb

@@ -1,0 +1,19 @@
+// Engine-level failure signalling.
+#pragma once
+
+#include <exception>
+
+namespace rldb {
+
+// Thrown when the engine cannot continue because its devices stopped
+// responding (power loss under the machine). Workload drivers catch this —
+// together with rlvmm::GuestCrashed — as "the machine died"; recovery then
+// happens through a fresh Database::Open.
+class EngineHalted : public std::exception {
+ public:
+  const char* what() const noexcept override {
+    return "storage engine halted: device failure (power loss)";
+  }
+};
+
+}  // namespace rldb

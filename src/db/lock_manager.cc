@@ -1,0 +1,102 @@
+#include "src/db/lock_manager.h"
+
+#include "src/sim/check.h"
+
+namespace rldb {
+
+using rlsim::Task;
+
+LockManager::LockManager(rlsim::Simulator& sim, rlsim::Duration timeout)
+    : sim_(sim), timeout_(timeout) {}
+
+Task<bool> LockManager::Acquire(uint64_t txn_id, uint64_t key) {
+  RL_CHECK(txn_id != 0);
+  LockEntry& entry = table_[key];
+  if (entry.holder == txn_id) {
+    co_return true;  // re-entrant
+  }
+  if (entry.holder == 0 && entry.waiters.empty()) {
+    entry.holder = txn_id;
+    held_[txn_id].insert(key);
+    stats_.acquisitions.Add();
+    co_return true;
+  }
+
+  stats_.waits.Add();
+  const rlsim::TimePoint start = sim_.now();
+  auto granted = std::make_shared<rlsim::Completion<bool>>(sim_);
+  entry.waiters.push_back(Waiter{txn_id, granted});
+  sim_.Schedule(timeout_, [granted] {
+    if (!granted->completed()) {
+      granted->Complete(false);
+    }
+  });
+  const bool ok = co_await granted->Wait();
+  stats_.wait_time.RecordDuration(sim_.now() - start);
+  if (!ok) {
+    // Timed out: remove ourselves from the queue if still there.
+    LockEntry& e = table_[key];
+    for (auto it = e.waiters.begin(); it != e.waiters.end(); ++it) {
+      if (it->granted == granted) {
+        e.waiters.erase(it);
+        break;
+      }
+    }
+    stats_.timeouts.Add();
+    co_return false;
+  }
+  // Release() handed us the lock and already updated the tables.
+  co_return true;
+}
+
+void LockManager::Release(uint64_t txn_id, uint64_t key) {
+  auto it = table_.find(key);
+  RL_CHECK(it != table_.end());
+  LockEntry& entry = it->second;
+  RL_CHECK_MSG(entry.holder == txn_id, "releasing a lock held by another txn");
+  entry.holder = 0;
+  while (!entry.waiters.empty()) {
+    Waiter w = entry.waiters.front();
+    entry.waiters.pop_front();
+    if (w.granted->completed()) {
+      continue;  // timed out while queued
+    }
+    entry.holder = w.txn_id;
+    held_[w.txn_id].insert(key);
+    stats_.acquisitions.Add();
+    w.granted->Complete(true);
+    return;
+  }
+  if (entry.waiters.empty() && entry.holder == 0) {
+    table_.erase(it);
+  }
+}
+
+void LockManager::ReleaseAll(uint64_t txn_id) {
+  const auto it = held_.find(txn_id);
+  if (it == held_.end()) {
+    return;
+  }
+  const std::unordered_set<uint64_t> keys = std::move(it->second);
+  held_.erase(it);
+  for (uint64_t key : keys) {
+    Release(txn_id, key);
+  }
+}
+
+void LockManager::Shutdown() {
+  for (auto& [key, entry] : table_) {
+    for (Waiter& w : entry.waiters) {
+      if (!w.granted->completed()) {
+        w.granted->Complete(false);
+      }
+    }
+  }
+}
+
+size_t LockManager::held_count(uint64_t txn_id) const {
+  const auto it = held_.find(txn_id);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+}  // namespace rldb

@@ -1,0 +1,115 @@
+#include "src/faults/durability_checker.h"
+
+#include <cstdio>
+
+#include "src/sim/check.h"
+
+namespace rlfault {
+
+using rlsim::Task;
+
+std::string VerifyResult::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "checked=%llu lost=%llu atomicity_violations=%llu "
+                "promoted_inflight=%llu -> %s",
+                static_cast<unsigned long long>(keys_checked),
+                static_cast<unsigned long long>(lost_writes),
+                static_cast<unsigned long long>(atomicity_violations),
+                static_cast<unsigned long long>(promoted_pending),
+                ok() ? "OK" : "DURABILITY VIOLATED");
+  return buf;
+}
+
+void DurabilityChecker::OnCommitAttempt(uint64_t token,
+                                        std::vector<TrackedWrite> writes) {
+  RL_CHECK(!pending_.contains(token));
+  pending_.emplace(token, std::move(writes));
+}
+
+void DurabilityChecker::OnCommitAcked(uint64_t token) {
+  const auto it = pending_.find(token);
+  RL_CHECK_MSG(it != pending_.end(), "ack for unknown commit token");
+  for (const TrackedWrite& w : it->second) {
+    if (w.is_delete) {
+      committed_[w.key] = std::nullopt;
+    } else {
+      committed_[w.key] = w.value;
+    }
+  }
+  pending_.erase(it);
+}
+
+void DurabilityChecker::OnAborted(uint64_t token) { pending_.erase(token); }
+
+Task<VerifyResult> DurabilityChecker::VerifyAfterRecovery(
+    rldb::Database& db) {
+  VerifyResult result;
+
+  // Resolve in-flight commits first: each one either fully landed (its
+  // commit record was durable even though the ack never reached the client)
+  // or must be entirely absent.
+  for (const auto& [token, writes] : pending_) {
+    size_t applied = 0;
+    for (const TrackedWrite& w : writes) {
+      std::vector<uint8_t> got;
+      const bool found = co_await db.ReadCommitted(w.key, &got);
+      const bool matches =
+          w.is_delete ? !found : (found && got == w.value);
+      if (matches) {
+        ++applied;
+      }
+    }
+    if (applied == writes.size()) {
+      ++result.promoted_pending;
+      for (const TrackedWrite& w : writes) {
+        if (w.is_delete) {
+          committed_[w.key] = std::nullopt;
+        } else {
+          committed_[w.key] = w.value;
+        }
+      }
+    } else if (applied != 0) {
+      // Partial application would be an atomicity violation — unless the
+      // "applied" subset coincides with the prior committed values, which we
+      // cannot distinguish per-key; count only definite violations where a
+      // non-prior value appeared.
+      size_t definite = 0;
+      for (const TrackedWrite& w : writes) {
+        std::vector<uint8_t> got;
+        const bool found = co_await db.ReadCommitted(w.key, &got);
+        const auto prior = committed_.find(w.key);
+        const bool matches_prior =
+            prior == committed_.end()
+                ? !found
+                : (prior->second.has_value()
+                       ? (found && got == *prior->second)
+                       : !found);
+        const bool matches_new =
+            w.is_delete ? !found : (found && got == w.value);
+        if (matches_new && !matches_prior) {
+          ++definite;
+        }
+      }
+      if (definite != 0) {
+        ++result.atomicity_violations;
+      }
+    }
+  }
+  pending_.clear();
+
+  // Every acknowledged write must be present.
+  for (const auto& [key, expected] : committed_) {
+    ++result.keys_checked;
+    std::vector<uint8_t> got;
+    const bool found = co_await db.ReadCommitted(key, &got);
+    const bool matches = expected.has_value() ? (found && got == *expected)
+                                              : !found;
+    if (!matches) {
+      ++result.lost_writes;
+    }
+  }
+  co_return result;
+}
+
+}  // namespace rlfault

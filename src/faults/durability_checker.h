@@ -1,0 +1,64 @@
+// Tracks what the database promised (acknowledged commits) and verifies the
+// promise after a crash: every acknowledged write is present after recovery
+// (unless overwritten by a later acknowledged commit), commits in flight at
+// the crash are all-or-nothing, and nothing uncommitted appears.
+//
+// This is the paper's plug-pull experiment turned into a machine-checkable
+// oracle that can run hundreds of randomised trials.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/db/database.h"
+#include "src/sim/task.h"
+
+namespace rlfault {
+
+struct TrackedWrite {
+  uint64_t key = 0;
+  bool is_delete = false;
+  std::vector<uint8_t> value;
+};
+
+struct VerifyResult {
+  uint64_t keys_checked = 0;
+  uint64_t lost_writes = 0;        // acked write missing or wrong after crash
+  uint64_t atomicity_violations = 0;  // in-flight commit applied partially
+  uint64_t promoted_pending = 0;   // in-flight commits that did land
+
+  bool ok() const { return lost_writes == 0 && atomicity_violations == 0; }
+  std::string Summary() const;
+};
+
+class DurabilityChecker {
+ public:
+  // Call immediately before Database::Commit with the transaction's writes.
+  void OnCommitAttempt(uint64_t token, std::vector<TrackedWrite> writes);
+
+  // Call when Commit returned kOk: the writes are now promised durable.
+  void OnCommitAcked(uint64_t token);
+
+  // Call when the transaction aborted (or its machine died before Commit
+  // was even attempted is equivalent to never calling OnCommitAttempt).
+  void OnAborted(uint64_t token);
+
+  // After recovery: verifies the model against the database, resolves the
+  // in-flight set (promoting commits that made it to disk), and leaves the
+  // model consistent with the recovered state for the next campaign round.
+  rlsim::Task<VerifyResult> VerifyAfterRecovery(rldb::Database& db);
+
+  size_t pending_count() const { return pending_.size(); }
+  size_t model_size() const { return committed_.size(); }
+
+ private:
+  // key -> latest acknowledged value (nullopt = acknowledged delete).
+  std::map<uint64_t, std::optional<std::vector<uint8_t>>> committed_;
+  std::unordered_map<uint64_t, std::vector<TrackedWrite>> pending_;
+};
+
+}  // namespace rlfault

@@ -1,0 +1,125 @@
+// The full experimental testbed: composes power supply, physical disks,
+// microkernel, VMM, RapiLog and the database engine into the deployment
+// configurations the paper compares, and provides the fault-injection and
+// recovery entry points the experiments drive.
+//
+//   kNative      DBMS on bare metal, synchronous durable log writes.
+//   kVirt        DBMS in a guest VM, paravirtual disks, synchronous writes
+//                (isolates the virtualisation overhead).
+//   kRapiLog     Like kVirt, but the log disk's backend is a RapiLogDevice —
+//                the guest and DBMS are unmodified.
+//   kUnsafeAsync Like kVirt with asynchronous (non-durable) commit: the
+//                performance upper bound RapiLog is measured against.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/db/database.h"
+#include "src/power/power.h"
+#include "src/rapilog/rapilog_device.h"
+#include "src/sim/simulator.h"
+#include "src/storage/block_device.h"
+#include "src/storage/partition.h"
+#include "src/vmm/virtual_block_device.h"
+#include "src/vmm/vm.h"
+
+namespace rlharness {
+
+enum class DeploymentMode { kNative, kVirt, kRapiLog, kUnsafeAsync };
+enum class DiskSetup {
+  kSharedHdd,    // one spindle, log and data partitions share it
+  kSeparateHdd,  // dedicated log spindle
+  kBbwc,         // battery-backed write cache in front of both disks
+  kSsdLog,       // HDD data, SSD log
+};
+
+std::string ToString(DeploymentMode m);
+std::string ToString(DiskSetup d);
+
+struct TestbedOptions {
+  DeploymentMode mode = DeploymentMode::kRapiLog;
+  DiskSetup disks = DiskSetup::kSharedHdd;
+  rldb::DbOptions db;
+  rlpow::PsuParams psu;
+  rapilog::RapiLogOptions rapilog;
+  rlvmm::VmParams vm;
+};
+
+class Testbed {
+ public:
+  Testbed(rlsim::Simulator& sim, TestbedOptions options);
+  ~Testbed();
+
+  // Builds the stack and opens (or recovers) the database.
+  rlsim::Task<void> Start();
+
+  rldb::Database& db() { return *db_; }
+  bool db_open() const { return db_ != nullptr; }
+
+  // --- Fault injection ------------------------------------------------------
+
+  // Pulls the plug. The PSU warns the trusted layer, RapiLog drains, the
+  // rails drop, devices lose their volatile caches, the guest dies.
+  void CutPower();
+
+  // Mains return; devices power up; the database recovers from disk.
+  rlsim::Task<void> RestorePowerAndRecover();
+
+  // Kills the guest OS/DBMS only (trusted layer and devices unaffected).
+  void CrashGuest();
+
+  // Reboots the guest: waits for RapiLog to drain its buffer ("eventual
+  // durability" realised), then re-opens the database.
+  rlsim::Task<void> RecoverAfterGuestCrash();
+
+  // --- Introspection ----------------------------------------------------------
+
+  rapilog::RapiLogDevice* rapilog() { return rapilog_.get(); }
+  rlpow::PowerSupply& psu() { return *psu_; }
+  rlvmm::VirtualMachine* vm() { return vm_.get(); }
+  rlstor::SimBlockDevice& data_disk() { return *data_disk_; }
+  rlstor::SimBlockDevice& log_disk_physical() {
+    return separate_log_disk_ ? *separate_log_disk_ : *data_disk_;
+  }
+  const TestbedOptions& options() const { return options_; }
+
+ private:
+  class DiskPowerSink;
+  class GuestPowerSink;
+
+  rlsim::Task<void> OpenDatabase();
+  void BuildDevices();
+  void BuildGuestStack();
+
+  rlsim::Simulator& sim_;
+  TestbedOptions options_;
+
+  std::unique_ptr<rlpow::PowerSupply> psu_;
+
+  // Physical storage.
+  std::unique_ptr<rlstor::SimBlockDevice> data_disk_;
+  std::unique_ptr<rlstor::SimBlockDevice> separate_log_disk_;
+  std::unique_ptr<rlstor::PartitionDevice> data_partition_;
+  std::unique_ptr<rlstor::PartitionDevice> log_partition_;
+
+  // Trusted layer.
+  std::unique_ptr<rapilog::RapiLogDevice> rapilog_;
+  std::unique_ptr<rlkern::Kernel> kernel_;
+  std::unique_ptr<rlvmm::VirtualMachine> vm_;
+  std::unique_ptr<rlvmm::BlockBackend> data_backend_;
+  std::unique_ptr<rlvmm::BlockBackend> log_backend_;
+  rlkern::ObjectId root_cnode_ = rlkern::kNullObject;
+
+  // Guest-visible devices.
+  std::unique_ptr<rlvmm::VirtualBlockDevice> guest_data_dev_;
+  std::unique_ptr<rlvmm::VirtualBlockDevice> guest_log_dev_;
+
+  std::unique_ptr<rldb::CpuContext> cpu_;
+  std::unique_ptr<rldb::Database> db_;
+
+  std::vector<std::unique_ptr<rlpow::PowerSink>> power_sinks_;
+};
+
+}  // namespace rlharness

@@ -1,0 +1,86 @@
+#include "src/power/power.h"
+
+#include <algorithm>
+
+#include "src/sim/check.h"
+
+namespace rlpow {
+
+using rlsim::Duration;
+
+PowerSupply::PowerSupply(rlsim::Simulator& sim, PsuParams params)
+    : sim_(sim), params_(params) {
+  RL_CHECK(params_.full_load_watts > 0);
+  RL_CHECK(params_.system_load_watts > 0);
+  RL_CHECK(params_.system_load_watts <= params_.full_load_watts);
+  RL_CHECK(params_.holdup_at_full_load > Duration::Zero());
+  RL_CHECK(params_.warning_latency >= Duration::Zero());
+  RL_CHECK_MSG(params_.warning_latency < HoldupWindow(),
+               "warning would arrive after the rails drop");
+}
+
+void PowerSupply::Register(PowerSink* sink) {
+  RL_CHECK(sink != nullptr);
+  RL_CHECK(std::find(sinks_.begin(), sinks_.end(), sink) == sinks_.end());
+  sinks_.push_back(sink);
+}
+
+Duration PowerSupply::HoldupWindow() const {
+  // Stored energy E = P_full * T_holdup; at load P the rails last E / P.
+  const double scale = params_.full_load_watts / params_.system_load_watts;
+  return params_.holdup_at_full_load * scale + params_.ups_runtime;
+}
+
+Duration PowerSupply::GuaranteedWindowAfterWarning() const {
+  return HoldupWindow() - params_.warning_latency;
+}
+
+void PowerSupply::CutMains() {
+  if (!mains_on_) {
+    return;
+  }
+  mains_on_ = false;
+  const uint64_t id = ++outage_id_;
+  sim_.Schedule(params_.warning_latency, [this, id] { DeliverWarning(id); });
+  sim_.Schedule(HoldupWindow(), [this, id] { DropRails(id); });
+}
+
+void PowerSupply::DeliverWarning(uint64_t outage_id) {
+  if (mains_on_ || outage_id != outage_id_) {
+    return;  // outage was absorbed before the warning fired
+  }
+  const Duration remaining = HoldupWindow() - params_.warning_latency;
+  for (PowerSink* sink : sinks_) {
+    sink->OnPowerFailWarning(remaining);
+  }
+}
+
+void PowerSupply::DropRails(uint64_t outage_id) {
+  if (mains_on_ || outage_id != outage_id_ || !rails_on_) {
+    return;
+  }
+  rails_on_ = false;
+  for (PowerSink* sink : sinks_) {
+    sink->OnPowerDown();
+  }
+}
+
+void PowerSupply::RestoreMains() {
+  if (mains_on_) {
+    return;
+  }
+  mains_on_ = true;
+  ++outage_id_;  // invalidate scheduled warning/drop from the cut
+  if (!rails_on_) {
+    rails_on_ = true;
+    for (PowerSink* sink : sinks_) {
+      sink->OnPowerRestore();
+    }
+  } else {
+    for (PowerSink* sink : sinks_) {
+      sink->OnOutageAbsorbed();
+    }
+  }
+}
+
+}  // namespace rlpow

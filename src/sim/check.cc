@@ -1,0 +1,17 @@
+#include "src/sim/check.h"
+
+#include <sstream>
+
+namespace rlsim {
+
+void FailCheck(const char* file, int line, const char* condition,
+               const std::string& message) {
+  std::ostringstream oss;
+  oss << "CHECK failed at " << file << ":" << line << ": " << condition;
+  if (!message.empty()) {
+    oss << " — " << message;
+  }
+  throw CheckFailure(oss.str());
+}
+
+}  // namespace rlsim

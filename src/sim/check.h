@@ -1,0 +1,44 @@
+// Invariant-checking macros used across the simulation stack.
+//
+// RL_CHECK fires in every build type (the simulator is a correctness tool;
+// silently continuing past a broken invariant would invalidate experiment
+// results). Failures throw rlsim::CheckFailure so tests can assert on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rlsim {
+
+// Thrown when an RL_CHECK fails. Derives from std::logic_error: a failed
+// check is always a programming error, never an expected runtime condition.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void FailCheck(const char* file, int line, const char* condition,
+                            const std::string& message);
+
+}  // namespace rlsim
+
+#define RL_CHECK(cond)                                  \
+  do {                                                  \
+    if (!(cond)) {                                      \
+      ::rlsim::FailCheck(__FILE__, __LINE__, #cond, ""); \
+    }                                                   \
+  } while (0)
+
+#define RL_CHECK_MSG(cond, msg)                                   \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      std::ostringstream rl_check_oss_;                           \
+      rl_check_oss_ << msg;                                       \
+      ::rlsim::FailCheck(__FILE__, __LINE__, #cond,               \
+                         rl_check_oss_.str());                    \
+    }                                                             \
+  } while (0)
+
+#define RL_UNREACHABLE(msg)                                             \
+  ::rlsim::FailCheck(__FILE__, __LINE__, "unreachable", (msg))

@@ -1,0 +1,34 @@
+#include "src/sim/crc32.h"
+
+#include <array>
+
+namespace rlsim {
+
+namespace {
+
+constexpr uint32_t kPolynomial = 0x82F63B78;  // CRC-32C, reflected
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPolynomial : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::span<const uint8_t> data, uint32_t seed) {
+  static const std::array<uint32_t, 256> kTable = BuildTable();
+  uint32_t crc = ~seed;
+  for (uint8_t byte : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ byte) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace rlsim

@@ -1,0 +1,12 @@
+// CRC-32C (Castagnoli), table-driven. Used by the DB engine to detect torn
+// sectors/pages/log records after crashes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace rlsim {
+
+uint32_t Crc32c(std::span<const uint8_t> data, uint32_t seed = 0);
+
+}  // namespace rlsim

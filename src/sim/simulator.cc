@@ -1,0 +1,102 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/sim/check.h"
+
+namespace rlsim {
+
+Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+
+Simulator::~Simulator() {
+  // Drop queued events before destroying still-suspended root frames so that
+  // no queued callback can reference a destroyed frame. (Destruction order of
+  // members alone would destroy roots_ first.)
+  while (!queue_.empty()) {
+    queue_.pop();
+  }
+  roots_.clear();
+}
+
+void Simulator::Schedule(Duration delay, std::function<void()> fn) {
+  RL_CHECK_MSG(delay >= Duration::Zero(),
+               "cannot schedule in the past: " << ToString(delay));
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::ScheduleAt(TimePoint at, std::function<void()> fn) {
+  RL_CHECK_MSG(at >= now_, "cannot schedule in the past");
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Simulator::Spawn(Task<void> task, std::string name) {
+  RL_CHECK(task.valid());
+  roots_.push_back(RootTask{std::move(task), std::move(name)});
+  roots_.back().task.Start();
+}
+
+bool Simulator::Step(TimePoint deadline) {
+  if (stopped_ || queue_.empty()) {
+    return false;
+  }
+  const Event& top = queue_.top();
+  if (top.at > deadline) {
+    return false;
+  }
+  // Copy out before pop: fn may schedule new events.
+  Event ev{top.at, top.seq, std::move(const_cast<Event&>(top).fn)};
+  queue_.pop();
+  RL_CHECK(ev.at >= now_);
+  now_ = ev.at;
+  ev.fn();
+  return true;
+}
+
+size_t Simulator::Run() {
+  stopped_ = false;
+  size_t n = 0;
+  while (Step(TimePoint::Max())) {
+    ++n;
+    if ((n & 0xFFF) == 0) {
+      ReapFinishedTasks();
+    }
+  }
+  ReapFinishedTasks();
+  return n;
+}
+
+size_t Simulator::RunUntil(TimePoint deadline) {
+  stopped_ = false;
+  size_t n = 0;
+  while (Step(deadline)) {
+    ++n;
+    if ((n & 0xFFF) == 0) {
+      ReapFinishedTasks();
+    }
+  }
+  if (!stopped_ && now_ < deadline) {
+    now_ = deadline;
+  }
+  ReapFinishedTasks();
+  return n;
+}
+
+size_t Simulator::pending_tasks() const {
+  return static_cast<size_t>(
+      std::count_if(roots_.begin(), roots_.end(),
+                    [](const RootTask& r) { return !r.task.done(); }));
+}
+
+void Simulator::ReapFinishedTasks() {
+  for (auto it = roots_.begin(); it != roots_.end();) {
+    if (it->task.done()) {
+      it->task.Rethrow();  // propagate uncaught task exceptions to Run()
+      it = roots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace rlsim

@@ -1,0 +1,109 @@
+// The discrete-event simulation core.
+//
+// A Simulator owns a virtual clock and an event queue. Work is expressed as
+// coroutines (rlsim::Task) that co_await timers and synchronisation objects;
+// the simulator resumes them in deterministic timestamp order (ties broken by
+// insertion sequence). Everything runs on a single OS thread; simulated
+// concurrency costs no real threads, and a given seed always produces the
+// same execution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "src/sim/rng.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace rlsim {
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 42);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current simulated time.
+  TimePoint now() const { return now_; }
+
+  // Root RNG. Prefer rng().Fork() per component.
+  Rng& rng() { return rng_; }
+
+  // Enqueues fn to run `delay` from now (delay >= 0).
+  void Schedule(Duration delay, std::function<void()> fn);
+  void ScheduleAt(TimePoint at, std::function<void()> fn);
+
+  // Awaitable that resumes the caller `d` from now. Sleep(Zero) still yields
+  // through the event queue (a cooperative reschedule).
+  auto Sleep(Duration d) {
+    struct Awaiter {
+      Simulator& sim;
+      Duration delay;
+
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim.Schedule(delay, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, d};
+  }
+
+  // Starts a detached root task. The simulator owns its frame; if the task
+  // ends with an uncaught exception, Run() rethrows it.
+  void Spawn(Task<void> task, std::string name = "task");
+
+  // Runs events until the queue is empty or Stop() is called. Returns the
+  // number of events processed.
+  size_t Run();
+
+  // Runs events with timestamp <= deadline. The clock ends at exactly
+  // `deadline` even if the queue drains early.
+  size_t RunUntil(TimePoint deadline);
+  size_t RunFor(Duration d) { return RunUntil(now_ + d); }
+
+  // Makes Run()/RunUntil() return after the current event.
+  void Stop() { stopped_ = true; }
+
+  // Number of root tasks that have not yet completed.
+  size_t pending_tasks() const;
+
+ private:
+  struct Event {
+    TimePoint at;
+    uint64_t seq;  // FIFO order among same-timestamp events
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  struct RootTask {
+    Task<void> task;
+    std::string name;
+  };
+
+  // Pops and runs one event. Returns false if the queue is empty, the next
+  // event is beyond `deadline`, or Stop() was called.
+  bool Step(TimePoint deadline);
+  void ReapFinishedTasks();
+
+  TimePoint now_ = TimePoint::Origin();
+  uint64_t next_seq_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<RootTask> roots_;
+  Rng rng_;
+};
+
+}  // namespace rlsim

@@ -1,0 +1,31 @@
+#include "src/sim/time.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace rlsim {
+
+std::string ToString(Duration d) {
+  char buf[64];
+  const int64_t ns = d.nanos();
+  const int64_t abs_ns = ns < 0 ? -ns : ns;
+  if (abs_ns < 1'000) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ns", ns);
+  } else if (abs_ns < 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", d.ToMicrosF());
+  } else if (abs_ns < 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", d.ToMillisF());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", d.ToSecondsF());
+  }
+  return buf;
+}
+
+std::string ToString(TimePoint t) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "t=%.6fs", t.ToSecondsF());
+  return buf;
+}
+
+}  // namespace rlsim

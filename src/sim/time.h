@@ -1,0 +1,109 @@
+// Strongly-typed simulated time.
+//
+// The simulation clock is a signed 64-bit nanosecond counter, which covers
+// ~292 simulated years — far beyond any experiment. Duration and TimePoint
+// are distinct types so that "an instant" and "a span" cannot be confused.
+#pragma once
+
+#include <compare>
+#include <concepts>
+#include <cstdint>
+#include <string>
+
+namespace rlsim {
+
+// A span of simulated time. Nanosecond resolution.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration Nanos(int64_t ns) { return Duration(ns); }
+  static constexpr Duration Micros(int64_t us) { return Duration(us * 1000); }
+  static constexpr Duration Millis(int64_t ms) {
+    return Duration(ms * 1'000'000);
+  }
+  static constexpr Duration Seconds(int64_t s) {
+    return Duration(s * 1'000'000'000);
+  }
+  // Fractional seconds, e.g. Duration::SecondsF(4.16e-3).
+  static constexpr Duration SecondsF(double s) {
+    return Duration(static_cast<int64_t>(s * 1e9));
+  }
+  static constexpr Duration Zero() { return Duration(0); }
+  static constexpr Duration Max() { return Duration(INT64_MAX); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr int64_t micros() const { return ns_ / 1000; }
+  constexpr int64_t millis() const { return ns_ / 1'000'000; }
+  constexpr double ToSecondsF() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double ToMillisF() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double ToMicrosF() const { return static_cast<double>(ns_) / 1e3; }
+
+  constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+  template <std::integral I>
+  constexpr Duration operator*(I k) const {
+    return Duration(ns_ * static_cast<int64_t>(k));
+  }
+  constexpr Duration operator*(double k) const {
+    return Duration(static_cast<int64_t>(static_cast<double>(ns_) * k));
+  }
+  constexpr Duration operator/(int64_t k) const { return Duration(ns_ / k); }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  constexpr Duration& operator+=(Duration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  constexpr Duration operator-() const { return Duration(-ns_); }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  constexpr explicit Duration(int64_t ns) : ns_(ns) {}
+  int64_t ns_ = 0;
+};
+
+// An instant on the simulated clock (nanoseconds since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint FromNanos(int64_t ns) { return TimePoint(ns); }
+  static constexpr TimePoint Origin() { return TimePoint(0); }
+  static constexpr TimePoint Max() { return TimePoint(INT64_MAX); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double ToSecondsF() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint(ns_ + d.nanos());
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint(ns_ - d.nanos());
+  }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration::Nanos(ns_ - o.ns_);
+  }
+  constexpr TimePoint& operator+=(Duration d) {
+    ns_ += d.nanos();
+    return *this;
+  }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+ private:
+  constexpr explicit TimePoint(int64_t ns) : ns_(ns) {}
+  int64_t ns_ = 0;
+};
+
+// Human-readable rendering, e.g. "1.250ms", "3.2s".
+std::string ToString(Duration d);
+std::string ToString(TimePoint t);
+
+}  // namespace rlsim

@@ -1,0 +1,31 @@
+#include "src/storage/block.h"
+
+namespace rlstor {
+
+std::string ToString(BlockStatus s) {
+  switch (s) {
+    case BlockStatus::kOk:
+      return "ok";
+    case BlockStatus::kDeviceOff:
+      return "device-off";
+    case BlockStatus::kOutOfRange:
+      return "out-of-range";
+    case BlockStatus::kTornWrite:
+      return "torn-write";
+  }
+  return "unknown";
+}
+
+std::string ToString(WriteCachePolicy p) {
+  switch (p) {
+    case WriteCachePolicy::kWriteBack:
+      return "write-back";
+    case WriteCachePolicy::kWriteThrough:
+      return "write-through";
+    case WriteCachePolicy::kBatteryBackedWriteBack:
+      return "bbwc";
+  }
+  return "unknown";
+}
+
+}  // namespace rlstor

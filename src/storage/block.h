@@ -1,0 +1,48 @@
+// Basic block-layer types shared by all storage models.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace rlstor {
+
+inline constexpr uint32_t kSectorSize = 512;
+
+// Result of a block operation.
+enum class BlockStatus {
+  kOk,
+  kDeviceOff,    // device lost power (or was never powered)
+  kOutOfRange,   // sector range exceeds device capacity
+  kTornWrite,    // write was interrupted by power loss mid-transfer
+};
+
+std::string ToString(BlockStatus s);
+
+enum class BlockOp { kRead, kWrite, kFlush };
+
+struct Geometry {
+  uint64_t sector_count = 0;
+  uint32_t sector_size = kSectorSize;
+
+  uint64_t capacity_bytes() const { return sector_count * sector_size; }
+};
+
+// How durable is a completed, acknowledged write?
+enum class WriteCachePolicy {
+  // Writes land in the device's volatile cache and are acknowledged
+  // immediately; they are lost on power failure unless flushed.
+  kWriteBack,
+  // Every write goes to the medium before acknowledgement (no volatile
+  // caching). Equivalent to the cache being disabled.
+  kWriteThrough,
+  // Battery-backed write-back (RAID controller with BBWC): writes are
+  // acknowledged at cache speed and are already durable (the battery
+  // preserves the cache across power loss); destaging to the medium only
+  // matters for sustained-throughput back-pressure.
+  kBatteryBackedWriteBack,
+};
+
+std::string ToString(WriteCachePolicy p);
+
+}  // namespace rlstor

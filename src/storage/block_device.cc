@@ -1,0 +1,299 @@
+#include "src/storage/block_device.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/sim/check.h"
+
+namespace rlstor {
+
+using rlsim::Duration;
+using rlsim::Task;
+using rlsim::TimePoint;
+
+namespace {
+
+// Longest contiguous run destaged as one medium write.
+constexpr uint32_t kMaxDestageRun = 256;
+
+}  // namespace
+
+SimBlockDevice::SimBlockDevice(rlsim::Simulator& sim, Options options,
+                               std::unique_ptr<DiskModel> model)
+    : sim_(sim),
+      options_(std::move(options)),
+      model_(std::move(model)),
+      image_(options_.geometry.sector_count),
+      actuator_(sim),
+      destage_wake_(sim),
+      space_available_(sim),
+      flush_done_(sim) {
+  RL_CHECK(model_ != nullptr);
+  RL_CHECK(options_.geometry.sector_size == kSectorSize);
+  if (options_.cache_policy != WriteCachePolicy::kWriteThrough) {
+    sim_.Spawn(DestageLoop(), options_.name + "-destage");
+  }
+}
+
+bool SimBlockDevice::RangeOk(uint64_t lba, size_t bytes) const {
+  if (bytes == 0 || bytes % kSectorSize != 0) {
+    return false;
+  }
+  const uint64_t sectors = bytes / kSectorSize;
+  return lba < options_.geometry.sector_count &&
+         sectors <= options_.geometry.sector_count - lba;
+}
+
+void SimBlockDevice::MarkDirty(uint64_t lba) {
+  if (dirty_set_.insert(lba).second) {
+    dirty_fifo_.push_back(lba);
+  }
+}
+
+Task<BlockStatus> SimBlockDevice::Read(uint64_t lba, std::span<uint8_t> out) {
+  if (!RangeOk(lba, out.size())) {
+    stats_.failed_requests.Add();
+    co_return BlockStatus::kOutOfRange;
+  }
+  if (!powered_) {
+    stats_.failed_requests.Add();
+    co_return BlockStatus::kDeviceOff;
+  }
+  const TimePoint start = sim_.now();
+  const uint32_t sectors = static_cast<uint32_t>(out.size() / kSectorSize);
+
+  bool all_cached = options_.cache_policy != WriteCachePolicy::kWriteThrough;
+  for (uint32_t i = 0; i < sectors && all_cached; ++i) {
+    all_cached = dirty_set_.contains(lba + i);
+  }
+
+  if (all_cached) {
+    co_await sim_.Sleep(model_->CacheTransferTime(sectors));
+  } else {
+    if (emergency_mode_) {
+      stats_.failed_requests.Add();
+      co_return BlockStatus::kDeviceOff;
+    }
+    auto guard = co_await actuator_.Lock();
+    if (!powered_ || emergency_mode_) {
+      stats_.failed_requests.Add();
+      co_return BlockStatus::kDeviceOff;
+    }
+    co_await sim_.Sleep(model_->ReadTime(sim_.now(), lba, sectors));
+  }
+  if (!powered_) {
+    stats_.failed_requests.Add();
+    co_return BlockStatus::kDeviceOff;
+  }
+  for (uint32_t i = 0; i < sectors; ++i) {
+    image_.Read(lba + i, out.subspan(static_cast<size_t>(i) * kSectorSize,
+                                     kSectorSize));
+  }
+  stats_.reads.Add();
+  stats_.read_latency.RecordDuration(sim_.now() - start);
+  co_return BlockStatus::kOk;
+}
+
+Task<BlockStatus> SimBlockDevice::Write(uint64_t lba,
+                                        std::span<const uint8_t> data,
+                                        bool fua) {
+  if (!RangeOk(lba, data.size())) {
+    stats_.failed_requests.Add();
+    co_return BlockStatus::kOutOfRange;
+  }
+  if (!powered_) {
+    stats_.failed_requests.Add();
+    co_return BlockStatus::kDeviceOff;
+  }
+  if (emergency_mode_ && !fua) {
+    stats_.failed_requests.Add();
+    co_return BlockStatus::kDeviceOff;
+  }
+  const TimePoint start = sim_.now();
+  BlockStatus status;
+  if (options_.cache_policy == WriteCachePolicy::kWriteThrough || fua) {
+    status = co_await WriteThroughPath(lba, data, fua);
+  } else {
+    status = co_await CachedPath(lba, data);
+  }
+  if (status == BlockStatus::kOk) {
+    stats_.writes.Add();
+    stats_.write_latency.RecordDuration(sim_.now() - start);
+  } else {
+    stats_.failed_requests.Add();
+  }
+  co_return status;
+}
+
+Task<BlockStatus> SimBlockDevice::WriteThroughPath(
+    uint64_t lba, std::span<const uint8_t> data, bool fua) {
+  const uint32_t sectors = static_cast<uint32_t>(data.size() / kSectorSize);
+  auto guard = co_await actuator_.Lock();
+  if (!powered_ || (emergency_mode_ && !fua)) {
+    // Sealed for the emergency flush: a queued non-FUA request abandons the
+    // actuator immediately instead of costing a mechanical access.
+    co_return BlockStatus::kDeviceOff;
+  }
+  const Duration latency = model_->WriteTime(sim_.now(), lba, sectors);
+  inflight_medium_write_ =
+      InflightWrite{.lba = lba, .sectors = sectors, .data = data};
+  co_await sim_.Sleep(latency);
+  inflight_medium_write_.reset();
+  if (!powered_) {
+    // Power was cut mid-write; PowerLoss() applied a sector prefix.
+    co_return BlockStatus::kTornWrite;
+  }
+  for (uint32_t i = 0; i < sectors; ++i) {
+    image_.WriteDurable(
+        lba + i,
+        data.subspan(static_cast<size_t>(i) * kSectorSize, kSectorSize));
+  }
+  co_return BlockStatus::kOk;
+}
+
+Task<BlockStatus> SimBlockDevice::CachedPath(uint64_t lba,
+                                             std::span<const uint8_t> data) {
+  const uint32_t sectors = static_cast<uint32_t>(data.size() / kSectorSize);
+  const uint64_t cache_capacity_sectors =
+      options_.cache_capacity_bytes / kSectorSize;
+  while (powered_ &&
+         dirty_fifo_.size() + sectors > cache_capacity_sectors) {
+    co_await space_available_.Wait();
+  }
+  if (!powered_) {
+    co_return BlockStatus::kDeviceOff;
+  }
+  co_await sim_.Sleep(model_->CacheTransferTime(sectors));
+  if (!powered_) {
+    co_return BlockStatus::kDeviceOff;
+  }
+  const bool battery =
+      options_.cache_policy == WriteCachePolicy::kBatteryBackedWriteBack;
+  for (uint32_t i = 0; i < sectors; ++i) {
+    const auto chunk =
+        data.subspan(static_cast<size_t>(i) * kSectorSize, kSectorSize);
+    if (battery) {
+      // Battery preserves the cache across power loss: durable on ack.
+      image_.WriteDurable(lba + i, chunk);
+    } else {
+      image_.WriteCached(lba + i, chunk);
+    }
+    MarkDirty(lba + i);
+  }
+  destage_wake_.NotifyAll();
+  co_return BlockStatus::kOk;
+}
+
+Task<BlockStatus> SimBlockDevice::Flush() {
+  if (!powered_ || emergency_mode_) {
+    stats_.failed_requests.Add();
+    co_return BlockStatus::kDeviceOff;
+  }
+  const TimePoint start = sim_.now();
+  if (options_.cache_policy == WriteCachePolicy::kWriteBack) {
+    while (powered_ && (!dirty_fifo_.empty() || destage_active_)) {
+      co_await flush_done_.Wait();
+    }
+    if (!powered_) {
+      stats_.failed_requests.Add();
+      co_return BlockStatus::kDeviceOff;
+    }
+  } else {
+    // Write-through has nothing volatile; BBWC cache is already durable.
+    co_await sim_.Sleep(model_->CacheTransferTime(1));
+  }
+  stats_.flushes.Add();
+  stats_.flush_latency.RecordDuration(sim_.now() - start);
+  co_return BlockStatus::kOk;
+}
+
+Task<void> SimBlockDevice::DestageLoop() {
+  while (true) {
+    if (!powered_ || emergency_mode_ || dirty_fifo_.empty()) {
+      co_await destage_wake_.Wait();
+      continue;
+    }
+    // Gather a contiguous run starting at the oldest dirty sector, so
+    // sequential dirtied regions destage as large medium writes.
+    const uint64_t start_lba = dirty_fifo_.front();
+    dirty_fifo_.pop_front();
+    dirty_set_.erase(start_lba);
+    uint32_t run = 1;
+    while (run < kMaxDestageRun && dirty_set_.contains(start_lba + run)) {
+      dirty_set_.erase(start_lba + run);
+      std::erase(dirty_fifo_, start_lba + run);
+      ++run;
+    }
+
+    destage_active_ = true;
+    {
+      auto guard = co_await actuator_.Lock();
+      if (powered_ && !emergency_mode_) {
+        const Duration latency = model_->WriteTime(sim_.now(), start_lba, run);
+        inflight_medium_write_ = InflightWrite{
+            .lba = start_lba, .sectors = run, .from_cache = true};
+        co_await sim_.Sleep(latency);
+        inflight_medium_write_.reset();
+        if (powered_) {
+          if (options_.cache_policy == WriteCachePolicy::kWriteBack) {
+            for (uint32_t i = 0; i < run; ++i) {
+              image_.Harden(start_lba + i);
+            }
+          }
+          stats_.destaged_sectors.Add(run);
+        }
+      }
+    }
+    destage_active_ = false;
+    space_available_.NotifyAll();
+    flush_done_.NotifyAll();
+  }
+}
+
+void SimBlockDevice::PowerLoss() {
+  if (!powered_) {
+    return;
+  }
+  powered_ = false;
+  // An interrupted medium write lands a prefix of its sectors (drives write
+  // a request front to back and each sector write is atomic). The exact cut
+  // point is unknowable; half way is the representative worst case for
+  // multi-sector requests, and zero sectors for single-sector ones — so a
+  // 512-byte write is all-or-nothing, as real hardware behaves.
+  if (inflight_medium_write_.has_value() &&
+      options_.cache_policy != WriteCachePolicy::kBatteryBackedWriteBack) {
+    const InflightWrite& w = *inflight_medium_write_;
+    const uint32_t applied = w.sectors / 2;
+    for (uint32_t i = 0; i < applied; ++i) {
+      if (w.from_cache) {
+        image_.Harden(w.lba + i);
+      } else {
+        image_.WriteDurable(
+            w.lba + i,
+            w.data.subspan(static_cast<size_t>(i) * kSectorSize,
+                           kSectorSize));
+      }
+    }
+  }
+  image_.PowerLoss(-1);
+  // Unblock everything so waiters observe powered_ == false.
+  destage_wake_.NotifyAll();
+  space_available_.NotifyAll();
+  flush_done_.NotifyAll();
+}
+
+void SimBlockDevice::PowerRestore() {
+  emergency_mode_ = false;
+  if (powered_) {
+    return;
+  }
+  powered_ = true;
+  if (options_.cache_policy != WriteCachePolicy::kBatteryBackedWriteBack) {
+    // Volatile cache contents were lost; forget the destage backlog.
+    dirty_fifo_.clear();
+    dirty_set_.clear();
+  }
+  destage_wake_.NotifyAll();
+}
+
+}  // namespace rlstor

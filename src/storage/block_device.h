@@ -1,0 +1,144 @@
+// Simulated block devices.
+//
+// BlockDevice is the host-facing interface (what an OS block layer sees).
+// SimBlockDevice combines a DiskImage (data + persistence ledger) with a
+// DiskModel (timing) and a write-cache policy, services requests through a
+// single-actuator mutex, destages its cache in the background, and reacts to
+// power loss like real hardware: volatile cache dropped, an in-flight medium
+// write torn, every later request failing with kDeviceOff.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_set>
+
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/storage/block.h"
+#include "src/storage/disk_image.h"
+#include "src/storage/disk_model.h"
+
+namespace rlstor {
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  virtual const Geometry& geometry() const = 0;
+
+  // out.size() must be a positive multiple of the sector size.
+  virtual rlsim::Task<BlockStatus> Read(uint64_t lba,
+                                        std::span<uint8_t> out) = 0;
+
+  // data.size() must be a positive multiple of the sector size. With
+  // fua=true the write bypasses any volatile cache (durable on completion).
+  virtual rlsim::Task<BlockStatus> Write(uint64_t lba,
+                                         std::span<const uint8_t> data,
+                                         bool fua) = 0;
+
+  // Completes once every previously acknowledged write is durable.
+  virtual rlsim::Task<BlockStatus> Flush() = 0;
+
+  // Trusted-layer emergency seal (power failing): the driver discards queued
+  // and future requests except forced-unit-access writes, dedicating the
+  // device to an emergency flush. Cleared by power restore. No-op by
+  // default (only devices owned by a trusted driver support it).
+  virtual void EnterEmergencyMode() {}
+};
+
+class SimBlockDevice : public BlockDevice {
+ public:
+  struct Options {
+    Geometry geometry{.sector_count = 4 * 1024 * 1024};  // 2 GiB
+    WriteCachePolicy cache_policy = WriteCachePolicy::kWriteBack;
+    uint64_t cache_capacity_bytes = 32ull * 1024 * 1024;
+    std::string name = "disk";
+  };
+
+  struct Stats {
+    rlsim::Counter reads;
+    rlsim::Counter writes;
+    rlsim::Counter flushes;
+    rlsim::Counter destaged_sectors;
+    rlsim::Counter failed_requests;
+    rlsim::Histogram read_latency;   // nanoseconds
+    rlsim::Histogram write_latency;  // nanoseconds
+    rlsim::Histogram flush_latency;  // nanoseconds
+  };
+
+  SimBlockDevice(rlsim::Simulator& sim, Options options,
+                 std::unique_ptr<DiskModel> model);
+
+  const Geometry& geometry() const override { return options_.geometry; }
+
+  rlsim::Task<BlockStatus> Read(uint64_t lba,
+                                std::span<uint8_t> out) override;
+  rlsim::Task<BlockStatus> Write(uint64_t lba, std::span<const uint8_t> data,
+                                 bool fua) override;
+  rlsim::Task<BlockStatus> Flush() override;
+
+  // Power events (called by the power substrate or by fault injection).
+  void PowerLoss();
+  void PowerRestore();
+  bool powered() const { return powered_; }
+
+  void EnterEmergencyMode() override { emergency_mode_ = true; }
+  void ExitEmergencyMode() { emergency_mode_ = false; }
+  bool emergency_mode() const { return emergency_mode_; }
+
+  // For recovery code and durability checkers.
+  DiskImage& image() { return image_; }
+  const DiskImage& image() const { return image_; }
+
+  const Stats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+  uint64_t dirty_sectors() const { return dirty_fifo_.size(); }
+
+ private:
+  rlsim::Task<void> DestageLoop();
+  rlsim::Task<BlockStatus> WriteThroughPath(uint64_t lba,
+                                            std::span<const uint8_t> data,
+                                            bool fua);
+  rlsim::Task<BlockStatus> CachedPath(uint64_t lba,
+                                      std::span<const uint8_t> data);
+  bool RangeOk(uint64_t lba, size_t bytes) const;
+  void MarkDirty(uint64_t lba);
+
+  rlsim::Simulator& sim_;
+  Options options_;
+  std::unique_ptr<DiskModel> model_;
+  DiskImage image_;
+
+  bool powered_ = true;
+  // While set, only FUA writes are serviced (see EnterEmergencyMode).
+  bool emergency_mode_ = false;
+  rlsim::SimMutex actuator_;
+  // A medium write in flight. Sector writes are atomic (as real drives
+  // guarantee); a power cut mid-request applies a prefix of its sectors.
+  struct InflightWrite {
+    uint64_t lba = 0;
+    uint32_t sectors = 0;
+    // Data source: either the caller's buffer (write-through path) ...
+    std::span<const uint8_t> data;
+    // ... or the device's own cache contents (destage path).
+    bool from_cache = false;
+  };
+  std::optional<InflightWrite> inflight_medium_write_;
+
+  std::deque<uint64_t> dirty_fifo_;
+  std::unordered_set<uint64_t> dirty_set_;
+  bool destage_active_ = false;
+  rlsim::WaitQueue destage_wake_;
+  rlsim::WaitQueue space_available_;
+  rlsim::WaitQueue flush_done_;
+
+  Stats stats_;
+};
+
+}  // namespace rlstor

@@ -1,0 +1,75 @@
+// The persistent medium: byte-accurate sector contents with a persistence
+// ledger distinguishing durable bytes (survive power loss) from bytes that
+// only exist in a volatile write cache.
+//
+// Sparse: unwritten sectors read as zeros and consume no memory.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/block.h"
+
+namespace rlstor {
+
+// Persistence state of one sector.
+enum class SectorState {
+  kUnwritten,       // never written; reads as zeros; durable by definition
+  kDurable,         // on the medium; survives power loss
+  kCachedVolatile,  // newest contents only in volatile cache
+  kTorn,            // write interrupted by power loss; contents undefined
+};
+
+class DiskImage {
+ public:
+  explicit DiskImage(uint64_t sector_count);
+
+  uint64_t sector_count() const { return sector_count_; }
+
+  // Newest contents, regardless of durability (read-your-writes: the cache
+  // shadows the medium). A torn sector reads as its corrupted pattern.
+  void Read(uint64_t sector, std::span<uint8_t> out) const;
+
+  // Writes into the volatile cache (not durable until hardened).
+  void WriteCached(uint64_t sector, std::span<const uint8_t> data);
+
+  // Writes straight to the medium (durable at once).
+  void WriteDurable(uint64_t sector, std::span<const uint8_t> data);
+
+  // Moves a cached sector's contents onto the medium. No-op if not cached.
+  void Harden(uint64_t sector);
+
+  // Hardens every cached sector.
+  void HardenAll();
+
+  // Drops the volatile cache, as a power cut does. `torn_sector`, if
+  // non-negative, marks a sector whose in-flight write was interrupted: its
+  // durable contents are replaced by a recognisable corruption pattern.
+  void PowerLoss(int64_t torn_sector = -1);
+
+  SectorState state(uint64_t sector) const;
+  bool IsDurable(uint64_t sector) const;
+
+  // Number of sectors currently held only in the volatile cache.
+  size_t cached_sector_count() const { return cache_.size(); }
+  uint64_t cached_bytes() const { return cache_.size() * kSectorSize; }
+
+  // Reads only what is on the durable medium (what recovery would see after
+  // a power cut), ignoring the volatile cache.
+  void ReadDurable(uint64_t sector, std::span<uint8_t> out) const;
+
+ private:
+  using Sector = std::array<uint8_t, kSectorSize>;
+
+  void CheckRange(uint64_t sector) const;
+
+  uint64_t sector_count_;
+  std::unordered_map<uint64_t, Sector> durable_;
+  std::unordered_map<uint64_t, Sector> cache_;
+  std::unordered_map<uint64_t, bool> torn_;  // value unused; presence = torn
+};
+
+}  // namespace rlstor

@@ -1,0 +1,61 @@
+#include "src/vmm/vm.h"
+
+#include "src/sim/check.h"
+
+namespace rlvmm {
+
+using rlsim::Duration;
+using rlsim::Task;
+
+VirtualMachine::VirtualMachine(rlsim::Simulator& sim, VmParams params)
+    : sim_(sim), params_(params) {
+  RL_CHECK(params_.cpu_overhead >= 1.0);
+}
+
+Task<void> VirtualMachine::Compute(Duration work) {
+  if (!running_) {
+    throw GuestCrashed();
+  }
+  const uint64_t started = incarnation_;
+  co_await sim_.Sleep(work * params_.cpu_overhead);
+  CheckAlive(started);
+}
+
+Task<void> VirtualMachine::VmExit() {
+  if (!running_) {
+    throw GuestCrashed();
+  }
+  co_await sim_.Sleep(params_.vmexit_cost);
+}
+
+Task<void> VirtualMachine::InjectIrq() {
+  co_await sim_.Sleep(params_.irq_inject_cost);
+}
+
+void VirtualMachine::Crash() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  for (const auto& cb : crash_callbacks_) {
+    cb();
+  }
+}
+
+void VirtualMachine::Reset() {
+  RL_CHECK_MSG(!running_, "Reset() of a running guest");
+  running_ = true;
+  ++incarnation_;
+}
+
+void VirtualMachine::CheckAlive(uint64_t incarnation) const {
+  if (!running_ || incarnation_ != incarnation) {
+    throw GuestCrashed();
+  }
+}
+
+void VirtualMachine::OnCrash(std::function<void()> callback) {
+  crash_callbacks_.push_back(std::move(callback));
+}
+
+}  // namespace rlvmm

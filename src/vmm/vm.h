@@ -1,0 +1,108 @@
+// Guest virtual machine container.
+//
+// A VirtualMachine does not interpret instructions; it accounts for guest
+// execution (CPU work is charged through Compute(), inflated by the
+// virtualisation overhead factor) and owns the guest's failure domain:
+// Crash() bumps the incarnation counter, and guest-side code carries the
+// incarnation it started under — when they disagree, that code's effects
+// must be discarded (the coroutine unwinds at its next Compute/IO point).
+// The trusted layer below the VM (microkernel, VMM, RapiLog) is unaffected
+// by guest crashes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+
+namespace rlvmm {
+
+// Thrown inside guest coroutines when the guest they belong to has crashed;
+// harnesses catch it at the top of each guest task.
+class GuestCrashed : public std::exception {
+ public:
+  const char* what() const noexcept override { return "guest crashed"; }
+};
+
+struct VmParams {
+  // Multiplier on guest CPU time (1.0 = bare metal, 1.05 = 5% overhead —
+  // the ballpark the paper attributes to virtualisation).
+  double cpu_overhead = 1.05;
+  // Cost of a VM exit + entry pair (paravirtual I/O kick).
+  rlsim::Duration vmexit_cost = rlsim::Duration::Micros(2);
+  // Cost of injecting a completion interrupt into the guest.
+  rlsim::Duration irq_inject_cost = rlsim::Duration::Micros(1);
+  std::string name = "guest";
+};
+
+class VirtualMachine {
+ public:
+  VirtualMachine(rlsim::Simulator& sim, VmParams params);
+
+  // Charges `work` of guest CPU time (scaled by the overhead factor).
+  // Throws GuestCrashed if the calling code's guest no longer exists.
+  rlsim::Task<void> Compute(rlsim::Duration work);
+
+  // Charges one VM exit/entry pair.
+  rlsim::Task<void> VmExit();
+
+  // Charges the completion-interrupt path.
+  rlsim::Task<void> InjectIrq();
+
+  // Kills the guest OS (or the whole VM): all in-flight guest work unwinds
+  // with GuestCrashed at its next cancellation point.
+  void Crash();
+
+  // Boots a fresh incarnation after a crash.
+  void Reset();
+
+  bool running() const { return running_; }
+  uint64_t incarnation() const { return incarnation_; }
+
+  // Throws GuestCrashed unless the guest is running in the same incarnation.
+  void CheckAlive(uint64_t incarnation) const;
+
+  // Invoked (in registration order) when the guest crashes — how the VMM
+  // layer learns that outstanding guest requests are abandoned.
+  void OnCrash(std::function<void()> callback);
+
+  const VmParams& params() const { return params_; }
+
+ private:
+  rlsim::Simulator& sim_;
+  VmParams params_;
+  bool running_ = true;
+  uint64_t incarnation_ = 1;
+  std::vector<std::function<void()>> crash_callbacks_;
+};
+
+// RAII-style helper capturing the incarnation a guest activity started in.
+class GuestContext {
+ public:
+  explicit GuestContext(VirtualMachine& vm)
+      : vm_(vm), incarnation_(vm.incarnation()) {}
+
+  // Cancellation point: throws GuestCrashed if the guest died.
+  void Check() const { vm_.CheckAlive(incarnation_); }
+  bool alive() const {
+    return vm_.running() && vm_.incarnation() == incarnation_;
+  }
+
+  rlsim::Task<void> Compute(rlsim::Duration work) {
+    Check();
+    co_await vm_.Compute(work);
+    Check();
+  }
+
+  VirtualMachine& vm() { return vm_; }
+  uint64_t incarnation() const { return incarnation_; }
+
+ private:
+  VirtualMachine& vm_;
+  uint64_t incarnation_;
+};
+
+}  // namespace rlvmm

@@ -1,0 +1,74 @@
+// Simple key-value workloads: a zipfian read/write mix (microbenchmarks,
+// crash campaigns) and a commit-rate stress of tiny update transactions
+// (the synchronous-logging cost experiment).
+#pragma once
+
+#include <cstdint>
+
+#include "src/db/database.h"
+#include "src/faults/durability_checker.h"
+#include "src/sim/rng.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+
+namespace rlwork {
+
+struct KvConfig {
+  uint64_t key_space = 100'000;
+  double zipf_theta = 0.8;
+  double write_fraction = 0.5;
+  // Operations per transaction.
+  uint32_t ops_per_txn = 4;
+  rlsim::Duration think_time = rlsim::Duration::Micros(100);
+};
+
+class KvWorkload {
+ public:
+  struct Stats {
+    rlsim::Counter committed;
+    rlsim::Counter lock_aborts;
+    rlsim::Counter machine_deaths;
+    rlsim::Histogram txn_latency;  // ns
+  };
+
+  KvWorkload(rlsim::Simulator& sim, KvConfig config);
+
+  // Preloads `count` keys.
+  rlsim::Task<void> Load(rldb::Database& db, uint64_t count);
+
+  rlsim::Task<void> RunClient(rldb::Database& db, int client_id,
+                              const bool* stop,
+                              rlfault::DurabilityChecker* checker);
+
+  Stats& stats() { return stats_; }
+
+ private:
+  rlsim::Simulator& sim_;
+  KvConfig config_;
+  rlsim::ZipfianGenerator zipf_;
+  Stats stats_;
+  uint64_t next_token_ = 1;
+};
+
+// Tiny-transaction commit-rate stress: one update + commit per transaction,
+// zero think time. Measures the commit ceiling a durability scheme allows.
+class LogStress {
+ public:
+  struct Stats {
+    rlsim::Counter committed;
+    rlsim::Histogram commit_latency;  // ns
+  };
+
+  explicit LogStress(rlsim::Simulator& sim) : sim_(sim) {}
+
+  rlsim::Task<void> RunClient(rldb::Database& db, int client_id,
+                              const bool* stop);
+
+  Stats& stats() { return stats_; }
+
+ private:
+  rlsim::Simulator& sim_;
+  Stats stats_;
+};
+
+}  // namespace rlwork

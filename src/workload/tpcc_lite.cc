@@ -1,0 +1,288 @@
+#include "src/workload/tpcc_lite.h"
+
+#include <utility>
+
+#include "src/db/errors.h"
+#include "src/sim/check.h"
+#include "src/vmm/vm.h"
+
+namespace rlwork {
+
+using rldb::Database;
+using rldb::DbStatus;
+using rlfault::TrackedWrite;
+using rlsim::Duration;
+using rlsim::Rng;
+using rlsim::Task;
+using rlsim::TimePoint;
+
+uint64_t MakeKey(Table table, uint64_t warehouse, uint64_t district,
+                 uint64_t id) {
+  return (static_cast<uint64_t>(table) << 56) | (warehouse << 44) |
+         (district << 36) | (id & 0xFFFFFFFFFull);
+}
+
+std::vector<uint8_t> RowValue(uint32_t value_bytes, uint64_t key,
+                              uint64_t seed) {
+  std::vector<uint8_t> v(value_bytes);
+  uint64_t state = key * 0x9E3779B97f4A7C15ULL ^ seed;
+  for (size_t i = 0; i < v.size(); ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    v[i] = static_cast<uint8_t>(state >> 56);
+  }
+  return v;
+}
+
+TpccLite::TpccLite(rlsim::Simulator& sim, TpccConfig config)
+    : sim_(sim), config_(config) {}
+
+Task<void> TpccLite::LoadInitial(Database& db) {
+  const uint32_t value_bytes = db.options().profile.value_bytes;
+  for (uint64_t w = 0; w < config_.warehouses; ++w) {
+    for (uint64_t d = 0; d < config_.districts_per_warehouse; ++d) {
+      const uint64_t txn = db.Begin();
+      const uint64_t dk = MakeKey(Table::kDistrict, w, d, 0);
+      RL_CHECK(co_await db.Put(txn, dk, RowValue(value_bytes, dk, 0)) ==
+               DbStatus::kOk);
+      for (uint64_t c = 0; c < config_.customers_per_district; ++c) {
+        const uint64_t ck = MakeKey(Table::kCustomer, w, d, c);
+        RL_CHECK(co_await db.Put(txn, ck, RowValue(value_bytes, ck, 0)) ==
+                 DbStatus::kOk);
+      }
+      RL_CHECK(co_await db.Commit(txn) == DbStatus::kOk);
+    }
+    // Stock is per-warehouse.
+    for (uint64_t base = 0; base < config_.items;
+         base += 500) {  // chunked bulk transactions
+      const uint64_t txn = db.Begin();
+      const uint64_t end = std::min<uint64_t>(base + 500, config_.items);
+      for (uint64_t i = base; i < end; ++i) {
+        const uint64_t sk = MakeKey(Table::kStock, w, 0, i);
+        RL_CHECK(co_await db.Put(txn, sk, RowValue(value_bytes, sk, 0)) ==
+                 DbStatus::kOk);
+      }
+      RL_CHECK(co_await db.Commit(txn) == DbStatus::kOk);
+    }
+  }
+}
+
+Task<bool> TpccLite::FinishTxn(Database& db, uint64_t txn, TxnWrites writes,
+                               uint64_t token,
+                               rlfault::DurabilityChecker* checker) {
+  if (checker != nullptr) {
+    checker->OnCommitAttempt(token, std::move(writes.writes));
+  }
+  const DbStatus st = co_await db.Commit(txn);
+  if (st == DbStatus::kOk) {
+    if (checker != nullptr) {
+      checker->OnCommitAcked(token);
+    }
+    co_return true;
+  }
+  if (checker != nullptr) {
+    checker->OnAborted(token);
+  }
+  co_return false;
+}
+
+Task<bool> TpccLite::NewOrder(Database& db, Rng& rng, uint64_t* order_seq,
+                              rlfault::DurabilityChecker* checker) {
+  const uint32_t value_bytes = db.options().profile.value_bytes;
+  const uint64_t w = rng.NextBelow(config_.warehouses);
+  const uint64_t d = rng.NextBelow(config_.districts_per_warehouse);
+  const uint64_t c = rng.NextBelow(config_.customers_per_district);
+  const uint64_t n_items = 5 + rng.NextBelow(11);  // 5..15
+  const uint64_t seed = rng.Next();
+  const uint64_t token = next_token_++;
+
+  const uint64_t txn = db.Begin();
+  TxnWrites tw;
+  auto put = [&](uint64_t key, uint64_t write_seed) -> Task<bool> {
+    const auto value = RowValue(value_bytes, key, write_seed);
+    const DbStatus st = co_await db.Put(txn, key, value);
+    if (st != DbStatus::kOk) {
+      co_return false;
+    }
+    tw.writes.push_back(TrackedWrite{.key = key, .value = value});
+    co_return true;
+  };
+
+  // Read customer; read+update the (hot) district row.
+  if (co_await db.Get(txn, MakeKey(Table::kCustomer, w, d, c), nullptr) ==
+      DbStatus::kLockTimeout) {
+    co_return false;
+  }
+  const uint64_t dk = MakeKey(Table::kDistrict, w, d, 0);
+  if (co_await db.Get(txn, dk, nullptr) == DbStatus::kLockTimeout) {
+    co_return false;
+  }
+  if (!co_await put(dk, seed)) {
+    co_return false;
+  }
+
+  // Items: read + update stock, insert order line.
+  const uint64_t order_id = (*order_seq)++;
+  for (uint64_t i = 0; i < n_items; ++i) {
+    const uint64_t item = rng.NextBelow(config_.items);
+    const uint64_t sk = MakeKey(Table::kStock, w, 0, item);
+    if (co_await db.Get(txn, sk, nullptr) == DbStatus::kLockTimeout) {
+      co_return false;
+    }
+    if (!co_await put(sk, seed + i)) {
+      co_return false;
+    }
+    if (!co_await put(MakeKey(Table::kOrderLine, w, d,
+                              order_id * 16 + i),
+                      seed ^ i)) {
+      co_return false;
+    }
+  }
+  if (!co_await put(MakeKey(Table::kOrder, w, d, order_id), seed)) {
+    co_return false;
+  }
+  co_return co_await FinishTxn(db, txn, std::move(tw), token, checker);
+}
+
+Task<bool> TpccLite::Payment(Database& db, Rng& rng, uint64_t* history_seq,
+                             rlfault::DurabilityChecker* checker) {
+  const uint32_t value_bytes = db.options().profile.value_bytes;
+  const uint64_t w = rng.NextBelow(config_.warehouses);
+  const uint64_t d = rng.NextBelow(config_.districts_per_warehouse);
+  const uint64_t c = rng.NextBelow(config_.customers_per_district);
+  const uint64_t seed = rng.Next();
+  const uint64_t token = next_token_++;
+
+  const uint64_t txn = db.Begin();
+  TxnWrites tw;
+  const uint64_t ck = MakeKey(Table::kCustomer, w, d, c);
+  if (co_await db.Get(txn, ck, nullptr) == DbStatus::kLockTimeout) {
+    co_return false;
+  }
+  const auto customer_value = RowValue(value_bytes, ck, seed);
+  if (co_await db.Put(txn, ck, customer_value) != DbStatus::kOk) {
+    co_return false;
+  }
+  tw.writes.push_back(TrackedWrite{.key = ck, .value = customer_value});
+  const uint64_t hk = MakeKey(Table::kHistory, w, d, (*history_seq)++);
+  const auto history_value = RowValue(value_bytes, hk, seed);
+  if (co_await db.Put(txn, hk, history_value) != DbStatus::kOk) {
+    co_return false;
+  }
+  tw.writes.push_back(TrackedWrite{.key = hk, .value = history_value});
+  co_return co_await FinishTxn(db, txn, std::move(tw), token, checker);
+}
+
+Task<bool> TpccLite::OrderStatus(Database& db, Rng& rng) {
+  const uint64_t w = rng.NextBelow(config_.warehouses);
+  const uint64_t d = rng.NextBelow(config_.districts_per_warehouse);
+  const uint64_t c = rng.NextBelow(config_.customers_per_district);
+  const uint64_t txn = db.Begin();
+  if (co_await db.Get(txn, MakeKey(Table::kCustomer, w, d, c), nullptr) ==
+      DbStatus::kLockTimeout) {
+    co_return false;
+  }
+  co_return co_await db.Commit(txn) == DbStatus::kOk;
+}
+
+Task<bool> TpccLite::Delivery(Database& db, Rng& rng,
+                              rlfault::DurabilityChecker* checker) {
+  const uint32_t value_bytes = db.options().profile.value_bytes;
+  const uint64_t w = rng.NextBelow(config_.warehouses);
+  const uint64_t d = rng.NextBelow(config_.districts_per_warehouse);
+  const uint64_t c = rng.NextBelow(config_.customers_per_district);
+  const uint64_t seed = rng.Next();
+  const uint64_t token = next_token_++;
+  const uint64_t txn = db.Begin();
+  TxnWrites tw;
+  const uint64_t ck = MakeKey(Table::kCustomer, w, d, c);
+  if (co_await db.Get(txn, ck, nullptr) == DbStatus::kLockTimeout) {
+    co_return false;
+  }
+  const auto value = RowValue(value_bytes, ck, seed);
+  if (co_await db.Put(txn, ck, value) != DbStatus::kOk) {
+    co_return false;
+  }
+  tw.writes.push_back(TrackedWrite{.key = ck, .value = value});
+  co_return co_await FinishTxn(db, txn, std::move(tw), token, checker);
+}
+
+Task<bool> TpccLite::StockLevel(Database& db, Rng& rng) {
+  const uint64_t w = rng.NextBelow(config_.warehouses);
+  const uint64_t txn = db.Begin();
+  for (int i = 0; i < 8; ++i) {
+    const uint64_t item = rng.NextBelow(config_.items);
+    if (co_await db.Get(txn, MakeKey(Table::kStock, w, 0, item), nullptr) ==
+        DbStatus::kLockTimeout) {
+      co_return false;
+    }
+  }
+  co_return co_await db.Commit(txn) == DbStatus::kOk;
+}
+
+Task<void> TpccLite::RunClient(Database& db, int client_id, const bool* stop,
+                               rlfault::DurabilityChecker* checker) {
+  Rng rng(static_cast<uint64_t>(client_id) * 7919 + 101);
+  const rlsim::DiscreteDistribution mix(
+      {config_.new_order_weight, config_.payment_weight,
+       config_.order_status_weight, config_.delivery_weight,
+       config_.stock_level_weight});
+  // Per-client id spaces keep order/history inserts conflict-free.
+  uint64_t order_seq = static_cast<uint64_t>(client_id) << 22;
+  uint64_t history_seq = static_cast<uint64_t>(client_id) << 22;
+
+  try {
+    while (!*stop) {
+      co_await sim_.Sleep(
+          Duration::Nanos(static_cast<int64_t>(rng.Exponential(
+              static_cast<double>(config_.think_time.nanos())))));
+      const TimePoint start = sim_.now();
+      bool ok = false;
+      const size_t pick = mix.Next(rng);
+      switch (pick) {
+        case 0:
+          ok = co_await NewOrder(db, rng, &order_seq, checker);
+          if (ok) {
+            stats_.new_orders.Add();
+            stats_.new_order_latency.RecordDuration(sim_.now() - start);
+          }
+          break;
+        case 1:
+          ok = co_await Payment(db, rng, &history_seq, checker);
+          if (ok) {
+            stats_.payments.Add();
+          }
+          break;
+        case 2:
+          ok = co_await OrderStatus(db, rng);
+          if (ok) {
+            stats_.read_only.Add();
+          }
+          break;
+        case 3:
+          ok = co_await Delivery(db, rng, checker);
+          if (ok) {
+            stats_.payments.Add();
+          }
+          break;
+        default:
+          ok = co_await StockLevel(db, rng);
+          if (ok) {
+            stats_.read_only.Add();
+          }
+          break;
+      }
+      if (ok) {
+        stats_.committed.Add();
+        stats_.txn_latency.RecordDuration(sim_.now() - start);
+      } else {
+        stats_.lock_aborts.Add();
+      }
+    }
+  } catch (const rlvmm::GuestCrashed&) {
+    stats_.machine_deaths.Add();
+  } catch (const rldb::EngineHalted&) {
+    stats_.machine_deaths.Add();
+  }
+}
+
+}  // namespace rlwork

@@ -1,0 +1,109 @@
+// TPC-C-lite: an OLTP workload over the engine's KV interface with the
+// transaction mix and access pattern of TPC-C (hot district rows, random
+// customer/stock touches, order inserts) scaled to simulation size.
+//
+// Keys pack (table, warehouse, district, id) into a uint64; values are the
+// engine's fixed-size row slots filled from a per-write seed so the
+// durability checker can verify exact contents.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/db/database.h"
+#include "src/faults/durability_checker.h"
+#include "src/sim/rng.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+
+namespace rlwork {
+
+enum class Table : uint8_t {
+  kDistrict = 1,
+  kCustomer = 2,
+  kStock = 3,
+  kOrder = 4,
+  kOrderLine = 5,
+  kHistory = 6,
+};
+
+uint64_t MakeKey(Table table, uint64_t warehouse, uint64_t district,
+                 uint64_t id);
+
+// Deterministic row image for (key, seed) at the engine's slot size.
+std::vector<uint8_t> RowValue(uint32_t value_bytes, uint64_t key,
+                              uint64_t seed);
+
+struct TpccConfig {
+  uint32_t warehouses = 2;
+  uint32_t districts_per_warehouse = 10;
+  uint32_t customers_per_district = 60;
+  uint32_t items = 2000;
+  // Client think/keying time between transactions.
+  rlsim::Duration think_time = rlsim::Duration::Micros(300);
+  // Transaction mix (TPC-C-ish weights).
+  double new_order_weight = 0.45;
+  double payment_weight = 0.43;
+  double order_status_weight = 0.04;
+  double delivery_weight = 0.04;
+  double stock_level_weight = 0.04;
+};
+
+class TpccLite {
+ public:
+  struct Stats {
+    rlsim::Counter committed;
+    rlsim::Counter new_orders;
+    rlsim::Counter payments;
+    rlsim::Counter read_only;
+    rlsim::Counter lock_aborts;
+    rlsim::Counter machine_deaths;  // clients unwound by crash/power-cut
+    rlsim::Histogram txn_latency;   // ns, commit-acked transactions
+    rlsim::Histogram new_order_latency;
+  };
+
+  TpccLite(rlsim::Simulator& sim, TpccConfig config);
+
+  // Populates districts, customers and stock (one bulk transaction per
+  // district). Run once on a fresh database.
+  rlsim::Task<void> LoadInitial(rldb::Database& db);
+
+  // One client loop: runs transactions until *stop becomes true or the
+  // machine dies under it. `checker` (optional) is fed every commit for
+  // later durability verification.
+  rlsim::Task<void> RunClient(rldb::Database& db, int client_id,
+                              const bool* stop,
+                              rlfault::DurabilityChecker* checker);
+
+  Stats& stats() { return stats_; }
+  const TpccConfig& config() const { return config_; }
+
+ private:
+  struct TxnWrites {
+    std::vector<rlfault::TrackedWrite> writes;
+  };
+
+  rlsim::Task<bool> NewOrder(rldb::Database& db, rlsim::Rng& rng,
+                             uint64_t* order_seq,
+                             rlfault::DurabilityChecker* checker);
+  rlsim::Task<bool> Payment(rldb::Database& db, rlsim::Rng& rng,
+                            uint64_t* history_seq,
+                            rlfault::DurabilityChecker* checker);
+  rlsim::Task<bool> OrderStatus(rldb::Database& db, rlsim::Rng& rng);
+  rlsim::Task<bool> Delivery(rldb::Database& db, rlsim::Rng& rng,
+                             rlfault::DurabilityChecker* checker);
+  rlsim::Task<bool> StockLevel(rldb::Database& db, rlsim::Rng& rng);
+
+  // Commits txn, feeding the checker. Returns false on lock abort.
+  rlsim::Task<bool> FinishTxn(rldb::Database& db, uint64_t txn,
+                              TxnWrites writes, uint64_t token,
+                              rlfault::DurabilityChecker* checker);
+
+  rlsim::Simulator& sim_;
+  TpccConfig config_;
+  Stats stats_;
+  uint64_t next_token_ = 1;
+};
+
+}  // namespace rlwork

@@ -1,0 +1,237 @@
+#include "src/db/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/db/buffer_pool.h"
+#include "src/db/layout.h"
+#include "src/sim/rng.h"
+#include "src/sim/simulator.h"
+#include "src/storage/block_device.h"
+
+namespace rldb {
+namespace {
+
+using rlsim::Simulator;
+using rlsim::Task;
+using rlstor::SimBlockDevice;
+using rlstor::WriteCachePolicy;
+
+constexpr uint32_t kValueBytes = 32;
+
+struct TreeFixture {
+  explicit TreeFixture(uint32_t page_bytes = 4096, uint32_t frames = 4096)
+      : dev(sim,
+            SimBlockDevice::Options{.geometry = {.sector_count = 1 << 20},
+                                    .cache_policy =
+                                        WriteCachePolicy::kWriteBack},
+            rlstor::MakeDefaultSsd()),
+        pool(sim, dev, page_bytes, frames),
+        tree(pool, kValueBytes, &next_free_page) {}
+
+  std::vector<uint8_t> Value(uint64_t seed) const {
+    std::vector<uint8_t> v(kValueBytes);
+    for (size_t i = 0; i < v.size(); ++i) {
+      v[i] = static_cast<uint8_t>(seed * 31 + i);
+    }
+    return v;
+  }
+
+  Simulator sim;
+  SimBlockDevice dev;
+  BufferPool pool;
+  uint64_t next_free_page = 100;  // pages below are "journal"
+  BTree tree;
+};
+
+TEST(BTreeTest, EmptyTreeGetMisses) {
+  TreeFixture f;
+  bool found = true;
+  f.sim.Spawn([](TreeFixture& fx, bool& out) -> Task<void> {
+    const uint64_t root = fx.tree.CreateEmpty();
+    out = co_await fx.tree.Get(root, 42, nullptr);
+  }(f, found));
+  f.sim.Run();
+  EXPECT_FALSE(found);
+}
+
+TEST(BTreeTest, PutGetSingle) {
+  TreeFixture f;
+  std::vector<uint8_t> got;
+  f.sim.Spawn([](TreeFixture& fx, std::vector<uint8_t>& out) -> Task<void> {
+    uint64_t root = fx.tree.CreateEmpty();
+    root = co_await fx.tree.Put(root, 42, fx.Value(7));
+    const bool found = co_await fx.tree.Get(root, 42, &out);
+    EXPECT_TRUE(found);
+  }(f, got));
+  f.sim.Run();
+  EXPECT_EQ(got, f.Value(7));
+}
+
+TEST(BTreeTest, OverwriteReplacesValue) {
+  TreeFixture f;
+  std::vector<uint8_t> got;
+  f.sim.Spawn([](TreeFixture& fx, std::vector<uint8_t>& out) -> Task<void> {
+    uint64_t root = fx.tree.CreateEmpty();
+    root = co_await fx.tree.Put(root, 1, fx.Value(1));
+    root = co_await fx.tree.Put(root, 1, fx.Value(2));
+    co_await fx.tree.Get(root, 1, &out);
+    EXPECT_EQ(co_await fx.tree.Count(root), 1u);
+  }(f, got));
+  f.sim.Run();
+  EXPECT_EQ(got, f.Value(2));
+}
+
+TEST(BTreeTest, RemoveDeletes) {
+  TreeFixture f;
+  f.sim.Spawn([](TreeFixture& fx) -> Task<void> {
+    uint64_t root = fx.tree.CreateEmpty();
+    root = co_await fx.tree.Put(root, 5, fx.Value(5));
+    root = co_await fx.tree.Put(root, 6, fx.Value(6));
+    root = co_await fx.tree.Remove(root, 5);
+    EXPECT_FALSE(co_await fx.tree.Get(root, 5, nullptr));
+    EXPECT_TRUE(co_await fx.tree.Get(root, 6, nullptr));
+    EXPECT_EQ(co_await fx.tree.Count(root), 1u);
+  }(f));
+  f.sim.Run();
+}
+
+TEST(BTreeTest, RemoveMissingIsNoOp) {
+  TreeFixture f;
+  f.sim.Spawn([](TreeFixture& fx) -> Task<void> {
+    uint64_t root = fx.tree.CreateEmpty();
+    root = co_await fx.tree.Put(root, 1, fx.Value(1));
+    root = co_await fx.tree.Remove(root, 99);
+    EXPECT_EQ(co_await fx.tree.Count(root), 1u);
+  }(f));
+  f.sim.Run();
+}
+
+TEST(BTreeTest, SequentialInsertSplitsAndStaysOrdered) {
+  TreeFixture f;
+  f.sim.Spawn([](TreeFixture& fx) -> Task<void> {
+    uint64_t root = fx.tree.CreateEmpty();
+    const uint64_t n = fx.tree.leaf_capacity() * 20ull;
+    for (uint64_t k = 1; k <= n; ++k) {
+      root = co_await fx.tree.Put(root, k, fx.Value(k));
+    }
+    EXPECT_EQ(co_await fx.tree.Count(root), n);
+    co_await fx.tree.CheckStructure(root);
+    // Spot-check lookups.
+    for (uint64_t k = 1; k <= n; k += 37) {
+      std::vector<uint8_t> v;
+      EXPECT_TRUE(co_await fx.tree.Get(root, k, &v));
+      EXPECT_EQ(v, fx.Value(k));
+    }
+  }(f));
+  f.sim.Run();
+}
+
+TEST(BTreeTest, ReverseInsert) {
+  TreeFixture f;
+  f.sim.Spawn([](TreeFixture& fx) -> Task<void> {
+    uint64_t root = fx.tree.CreateEmpty();
+    const uint64_t n = fx.tree.leaf_capacity() * 10ull;
+    for (uint64_t k = n; k >= 1; --k) {
+      root = co_await fx.tree.Put(root, k, fx.Value(k));
+    }
+    EXPECT_EQ(co_await fx.tree.Count(root), n);
+    co_await fx.tree.CheckStructure(root);
+  }(f));
+  f.sim.Run();
+}
+
+TEST(BTreeTest, ScanRangeInOrder) {
+  TreeFixture f;
+  std::vector<uint64_t> seen;
+  f.sim.Spawn([](TreeFixture& fx, std::vector<uint64_t>& out) -> Task<void> {
+    uint64_t root = fx.tree.CreateEmpty();
+    for (uint64_t k = 0; k < 500; ++k) {
+      root = co_await fx.tree.Put(root, k * 2, fx.Value(k));  // even keys
+    }
+    co_await fx.tree.Scan(root, 100, 200,
+                          [&out](uint64_t k, std::span<const uint8_t>) {
+                            out.push_back(k);
+                            return true;
+                          });
+  }(f, seen));
+  f.sim.Run();
+  ASSERT_EQ(seen.size(), 51u);  // 100..200 even
+  EXPECT_EQ(seen.front(), 100u);
+  EXPECT_EQ(seen.back(), 200u);
+  for (size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_GT(seen[i], seen[i - 1]);
+  }
+}
+
+TEST(BTreeTest, ScanEarlyStop) {
+  TreeFixture f;
+  int visited = 0;
+  f.sim.Spawn([](TreeFixture& fx, int& out) -> Task<void> {
+    uint64_t root = fx.tree.CreateEmpty();
+    for (uint64_t k = 0; k < 100; ++k) {
+      root = co_await fx.tree.Put(root, k, fx.Value(k));
+    }
+    co_await fx.tree.Scan(root, 0, UINT64_MAX,
+                          [&out](uint64_t, std::span<const uint8_t>) {
+                            return ++out < 10;
+                          });
+  }(f, visited));
+  f.sim.Run();
+  EXPECT_EQ(visited, 10);
+}
+
+// Property sweep: random workloads vs a reference std::map, across page
+// sizes (different fan-outs exercise different split patterns).
+class BTreeRandomTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>> {};
+
+TEST_P(BTreeRandomTest, MatchesReferenceModel) {
+  const uint32_t page_bytes = std::get<0>(GetParam());
+  const uint64_t seed = std::get<1>(GetParam());
+  TreeFixture f(page_bytes);
+  f.sim.Spawn([](TreeFixture& fx, uint64_t sd) -> Task<void> {
+    rlsim::Rng rng(sd);
+    std::map<uint64_t, std::vector<uint8_t>> reference;
+    uint64_t root = fx.tree.CreateEmpty();
+    for (int op = 0; op < 4000; ++op) {
+      const uint64_t key = rng.NextBelow(800);
+      const double dice = rng.NextDouble();
+      if (dice < 0.65) {
+        const auto value = fx.Value(rng.Next());
+        root = co_await fx.tree.Put(root, key, value);
+        reference[key] = value;
+      } else if (dice < 0.85) {
+        root = co_await fx.tree.Remove(root, key);
+        reference.erase(key);
+      } else {
+        std::vector<uint8_t> got;
+        const bool found = co_await fx.tree.Get(root, key, &got);
+        const auto it = reference.find(key);
+        EXPECT_EQ(found, it != reference.end()) << "key " << key;
+        if (found && it != reference.end()) {
+          EXPECT_EQ(got, it->second);
+        }
+      }
+    }
+    EXPECT_EQ(co_await fx.tree.Count(root), reference.size());
+    co_await fx.tree.CheckStructure(root);
+    // Full containment check.
+    for (const auto& [key, value] : reference) {
+      std::vector<uint8_t> got;
+      EXPECT_TRUE(co_await fx.tree.Get(root, key, &got)) << key;
+      EXPECT_EQ(got, value);
+    }
+  }(f, seed));
+  f.sim.Run();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PagesAndSeeds, BTreeRandomTest,
+    ::testing::Combine(::testing::Values(1024u, 4096u, 8192u),
+                       ::testing::Values(1u, 2u, 3u, 4u)));
+
+}  // namespace
+}  // namespace rldb

@@ -1,0 +1,166 @@
+#include "src/faults/durability_checker.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulator.h"
+#include "src/storage/block_device.h"
+#include "src/workload/tpcc_lite.h"
+
+namespace rlfault {
+namespace {
+
+using rlsim::Simulator;
+using rlsim::Task;
+using rlstor::SimBlockDevice;
+using rlwork::RowValue;
+
+struct Fixture {
+  Fixture()
+      : cpu(sim),
+        data(sim,
+             SimBlockDevice::Options{.geometry = {.sector_count = 1 << 19}},
+             rlstor::MakeDefaultSsd()),
+        log(sim,
+            SimBlockDevice::Options{.geometry = {.sector_count = 1 << 19}},
+            rlstor::MakeDefaultSsd()) {}
+
+  Task<void> OpenDb() {
+    rldb::DbOptions opts;
+    opts.pool_pages = 256;
+    opts.journal_pages = 150;
+    opts.profile.checkpoint_dirty_pages = 64;
+    db = co_await rldb::Database::Open(sim, cpu, data, log, opts);
+  }
+
+  std::vector<uint8_t> Value(uint64_t key, uint64_t seed) {
+    return RowValue(db->options().profile.value_bytes, key, seed);
+  }
+
+  Simulator sim;
+  rldb::NativeCpu cpu;
+  SimBlockDevice data;
+  SimBlockDevice log;
+  std::unique_ptr<rldb::Database> db;
+};
+
+TEST(DurabilityCheckerTest, CleanCommitVerifies) {
+  Fixture f;
+  DurabilityChecker checker;
+  VerifyResult verdict;
+  f.sim.Spawn([](Fixture& fx, DurabilityChecker& chk,
+                 VerifyResult& out) -> Task<void> {
+    co_await fx.OpenDb();
+    const uint64_t txn = fx.db->Begin();
+    const auto value = fx.Value(1, 42);
+    co_await fx.db->Put(txn, 1, value);
+    chk.OnCommitAttempt(1, {TrackedWrite{.key = 1, .value = value}});
+    EXPECT_EQ(co_await fx.db->Commit(txn), rldb::DbStatus::kOk);
+    chk.OnCommitAcked(1);
+    out = co_await chk.VerifyAfterRecovery(*fx.db);
+  }(f, checker, verdict));
+  f.sim.Run();
+  EXPECT_TRUE(verdict.ok());
+  EXPECT_EQ(verdict.keys_checked, 1u);
+}
+
+TEST(DurabilityCheckerTest, DetectsLostWrite) {
+  Fixture f;
+  DurabilityChecker checker;
+  VerifyResult verdict;
+  f.sim.Spawn([](Fixture& fx, DurabilityChecker& chk,
+                 VerifyResult& out) -> Task<void> {
+    co_await fx.OpenDb();
+    // Claim a commit was acked that never actually happened.
+    chk.OnCommitAttempt(1, {TrackedWrite{.key = 5, .value = fx.Value(5, 1)}});
+    chk.OnCommitAcked(1);
+    out = co_await chk.VerifyAfterRecovery(*fx.db);
+  }(f, checker, verdict));
+  f.sim.Run();
+  EXPECT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.lost_writes, 1u);
+}
+
+TEST(DurabilityCheckerTest, AbortedTxnNotChecked) {
+  Fixture f;
+  DurabilityChecker checker;
+  VerifyResult verdict;
+  f.sim.Spawn([](Fixture& fx, DurabilityChecker& chk,
+                 VerifyResult& out) -> Task<void> {
+    co_await fx.OpenDb();
+    chk.OnCommitAttempt(1, {TrackedWrite{.key = 9, .value = fx.Value(9, 1)}});
+    chk.OnAborted(1);
+    out = co_await chk.VerifyAfterRecovery(*fx.db);
+  }(f, checker, verdict));
+  f.sim.Run();
+  EXPECT_TRUE(verdict.ok());
+  EXPECT_EQ(verdict.keys_checked, 0u);
+}
+
+TEST(DurabilityCheckerTest, InFlightCommitThatLandedIsPromoted) {
+  Fixture f;
+  DurabilityChecker checker;
+  VerifyResult verdict;
+  f.sim.Spawn([](Fixture& fx, DurabilityChecker& chk,
+                 VerifyResult& out) -> Task<void> {
+    co_await fx.OpenDb();
+    const uint64_t txn = fx.db->Begin();
+    const auto value = fx.Value(3, 77);
+    co_await fx.db->Put(txn, 3, value);
+    chk.OnCommitAttempt(7, {TrackedWrite{.key = 3, .value = value}});
+    EXPECT_EQ(co_await fx.db->Commit(txn), rldb::DbStatus::kOk);
+    // Ack "lost" (crash between durability and the client seeing it):
+    // no OnCommitAcked call. Verification resolves it as landed.
+    out = co_await chk.VerifyAfterRecovery(*fx.db);
+  }(f, checker, verdict));
+  f.sim.Run();
+  EXPECT_TRUE(verdict.ok());
+  EXPECT_EQ(verdict.promoted_pending, 1u);
+  // Promotion folds it into the model: a later verify checks it.
+  EXPECT_EQ(checker.model_size(), 1u);
+}
+
+TEST(DurabilityCheckerTest, InFlightCommitThatDidNotLandIsDropped) {
+  Fixture f;
+  DurabilityChecker checker;
+  VerifyResult verdict;
+  f.sim.Spawn([](Fixture& fx, DurabilityChecker& chk,
+                 VerifyResult& out) -> Task<void> {
+    co_await fx.OpenDb();
+    chk.OnCommitAttempt(7, {TrackedWrite{.key = 3, .value = fx.Value(3, 1)}});
+    // Machine died before the commit record went out: key 3 absent.
+    out = co_await chk.VerifyAfterRecovery(*fx.db);
+  }(f, checker, verdict));
+  f.sim.Run();
+  EXPECT_TRUE(verdict.ok());
+  EXPECT_EQ(verdict.promoted_pending, 0u);
+  EXPECT_EQ(checker.pending_count(), 0u);
+}
+
+TEST(DurabilityCheckerTest, DeleteTracking) {
+  Fixture f;
+  DurabilityChecker checker;
+  VerifyResult verdict;
+  f.sim.Spawn([](Fixture& fx, DurabilityChecker& chk,
+                 VerifyResult& out) -> Task<void> {
+    co_await fx.OpenDb();
+    uint64_t txn = fx.db->Begin();
+    const auto value = fx.Value(4, 1);
+    co_await fx.db->Put(txn, 4, value);
+    chk.OnCommitAttempt(1, {TrackedWrite{.key = 4, .value = value}});
+    co_await fx.db->Commit(txn);
+    chk.OnCommitAcked(1);
+
+    txn = fx.db->Begin();
+    co_await fx.db->Remove(txn, 4);
+    chk.OnCommitAttempt(2, {TrackedWrite{.key = 4, .is_delete = true}});
+    co_await fx.db->Commit(txn);
+    chk.OnCommitAcked(2);
+
+    out = co_await chk.VerifyAfterRecovery(*fx.db);
+  }(f, checker, verdict));
+  f.sim.Run();
+  EXPECT_TRUE(verdict.ok()) << verdict.Summary();
+}
+
+}  // namespace
+}  // namespace rlfault

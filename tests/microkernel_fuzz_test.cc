@@ -1,0 +1,147 @@
+// Randomised capability-operation fuzzing: apply thousands of random
+// Retype/Mint/Copy/Delete/Revoke operations and check every kernel invariant
+// after each one. This is the runtime stand-in for the "verified kernel"
+// property the paper leverages.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/microkernel/kernel.h"
+#include "src/sim/rng.h"
+#include "src/sim/simulator.h"
+
+namespace rlkern {
+namespace {
+
+constexpr size_t kSlots = 128;
+
+class KernelFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KernelFuzzTest, InvariantsSurviveRandomCapOps) {
+  rlsim::Simulator sim;
+  Kernel kernel(sim);
+  const ObjectId root = kernel.BootstrapCNode(kSlots);
+  ASSERT_EQ(kernel.BootstrapUntyped(root, 0, 1 << 20), KernelStatus::kOk);
+
+  rlsim::Rng rng(GetParam());
+  auto slot = [&](CPtr i) { return SlotAddr{root, i}; };
+  auto random_slot = [&] {
+    return slot(static_cast<CPtr>(rng.NextBelow(kSlots)));
+  };
+
+  int ok_ops = 0;
+  for (int step = 0; step < 3000; ++step) {
+    const uint64_t op = rng.NextBelow(6);
+    KernelStatus st = KernelStatus::kOk;
+    switch (op) {
+      case 0: {  // retype a random object type into a random slot
+        static constexpr ObjectType kTypes[] = {
+            ObjectType::kEndpoint, ObjectType::kNotification,
+            ObjectType::kFrame, ObjectType::kTcb};
+        const ObjectType type = kTypes[rng.NextBelow(4)];
+        st = kernel.Retype(slot(0), type, 4096, root,
+                           1 + rng.NextBelow(kSlots - 1), 1);
+        break;
+      }
+      case 1: {  // mint with random rights/badge
+        CapRights rights;
+        rights.read = rng.Chance(0.5);
+        rights.write = rng.Chance(0.5);
+        rights.grant = rng.Chance(0.2);
+        st = kernel.Mint(random_slot(), random_slot(), rights,
+                         rng.NextBelow(4));
+        break;
+      }
+      case 2:
+        st = kernel.Copy(random_slot(), random_slot());
+        break;
+      case 3: {
+        // Never delete the root untyped cap (slot 0) — everything else fair.
+        const SlotAddr victim = slot(1 + rng.NextBelow(kSlots - 1));
+        st = kernel.Delete(victim);
+        break;
+      }
+      case 4: {
+        const SlotAddr victim = slot(1 + rng.NextBelow(kSlots - 1));
+        st = kernel.Revoke(victim);
+        break;
+      }
+      case 5:
+        st = kernel.Revoke(slot(0));  // reclaim the whole region
+        break;
+    }
+    if (st == KernelStatus::kOk) {
+      ++ok_ops;
+    }
+    ASSERT_NO_THROW(kernel.CheckInvariants()) << "step " << step;
+  }
+  // The sequence must have actually exercised the kernel.
+  EXPECT_GT(ok_ops, 300);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(KernelIpcStressTest, ManyClientsOneServer) {
+  rlsim::Simulator sim;
+  Kernel kernel(sim);
+  const ObjectId root = kernel.BootstrapCNode(kSlots);
+  ASSERT_EQ(kernel.BootstrapUntyped(root, 0, 1 << 20), KernelStatus::kOk);
+  ASSERT_EQ(kernel.Retype(SlotAddr{root, 0}, ObjectType::kEndpoint, 0, root,
+                          1, 1),
+            KernelStatus::kOk);
+  const SlotAddr ep{root, 1};
+
+  // Badged caps, one per client.
+  constexpr int kClients = 16;
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(kernel.Mint(ep, SlotAddr{root, static_cast<CPtr>(10 + c)},
+                          CapRights::WriteOnly(), static_cast<Badge>(c + 1)),
+              KernelStatus::kOk);
+  }
+
+  std::vector<int> served_per_client(kClients, 0);
+  constexpr int kCallsPerClient = 50;
+
+  // Server loop.
+  sim.Spawn([](Kernel& k, SlotAddr e, std::vector<int>& served)
+                -> rlsim::Task<void> {
+    for (int i = 0; i < kClients * kCallsPerClient; ++i) {
+      Received got;
+      const KernelStatus st = co_await k.Recv(e, &got);
+      EXPECT_EQ(st, KernelStatus::kOk);
+      EXPECT_GE(got.message.sender_badge, 1u);
+      EXPECT_LE(got.message.sender_badge, static_cast<Badge>(kClients));
+      ++served[got.message.sender_badge - 1];
+      IpcMessage reply;
+      reply.words = {got.message.words[0] + 1};
+      k.Reply(got.reply, std::move(reply));
+    }
+  }(kernel, ep, served_per_client));
+
+  // Clients.
+  for (int c = 0; c < kClients; ++c) {
+    sim.Spawn([](rlsim::Simulator& s, Kernel& k, SlotAddr my_ep,
+                 int id) -> rlsim::Task<void> {
+      rlsim::Rng rng(static_cast<uint64_t>(id) + 777);
+      for (int i = 0; i < kCallsPerClient; ++i) {
+        co_await s.Sleep(rlsim::Duration::Micros(rng.UniformInt(1, 20)));
+        IpcMessage msg;
+        msg.words = {static_cast<uint64_t>(i)};
+        IpcMessage reply;
+        const KernelStatus st = co_await k.Call(my_ep, std::move(msg), &reply);
+        EXPECT_EQ(st, KernelStatus::kOk);
+        EXPECT_EQ(reply.words[0], static_cast<uint64_t>(i) + 1);
+      }
+    }(sim, kernel, SlotAddr{root, static_cast<CPtr>(10 + c)}, c));
+  }
+
+  sim.Run();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(served_per_client[static_cast<size_t>(c)], kCallsPerClient);
+  }
+  kernel.CheckInvariants();
+}
+
+}  // namespace
+}  // namespace rlkern

@@ -1,0 +1,272 @@
+#include "src/rapilog/rapilog_device.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/power/power.h"
+#include "src/sim/simulator.h"
+#include "src/storage/block_device.h"
+
+namespace rapilog {
+namespace {
+
+using rlpow::PowerSupply;
+using rlpow::PsuParams;
+using rlsim::Duration;
+using rlsim::Simulator;
+using rlsim::Task;
+using rlsim::TimePoint;
+using rlstor::BlockStatus;
+using rlstor::SimBlockDevice;
+using rlstor::WriteCachePolicy;
+
+// Adapter: powers a SimBlockDevice off/on with the rails.
+class DiskPowerAdapter : public rlpow::PowerSink {
+ public:
+  explicit DiskPowerAdapter(SimBlockDevice& dev) : dev_(dev) {}
+  void OnPowerDown() override { dev_.PowerLoss(); }
+  void OnPowerRestore() override { dev_.PowerRestore(); }
+
+ private:
+  SimBlockDevice& dev_;
+};
+
+struct Fixture {
+  explicit Fixture(RapiLogOptions options = {}, PsuParams psu_params = {})
+      : psu(sim, psu_params),
+        disk(sim,
+             SimBlockDevice::Options{
+                 .geometry = {.sector_count = 1 << 18},
+                 .cache_policy = WriteCachePolicy::kWriteBack,
+                 .name = "log-disk"},
+             rlstor::MakeDefaultHdd()),
+        disk_power(disk),
+        rapilog(sim, psu, disk, options) {
+    // RapiLog registered first (by the ctor above), then the disk: on power
+    // down the guard has already run its course by the time rails drop.
+    psu.Register(&disk_power);
+  }
+
+  Simulator sim;
+  PowerSupply psu;
+  SimBlockDevice disk;
+  DiskPowerAdapter disk_power;
+  RapiLogDevice rapilog;
+};
+
+std::vector<uint8_t> Block(size_t bytes, uint8_t fill) {
+  return std::vector<uint8_t>(bytes, fill);
+}
+
+TEST(RapiLogDeviceTest, AckIsImmediate) {
+  Fixture f;
+  Duration ack_latency;
+  f.sim.Spawn([](Simulator& s, RapiLogDevice& d, Duration& lat) -> Task<void> {
+    const TimePoint t0 = s.now();
+    const BlockStatus st = co_await d.Write(0, Block(4096, 1), false);
+    lat = s.now() - t0;
+    EXPECT_EQ(st, BlockStatus::kOk);
+  }(f.sim, f.rapilog, ack_latency));
+  f.sim.Run();
+  // Microseconds, not a disk revolution.
+  EXPECT_LT(ack_latency, Duration::Micros(10));
+}
+
+TEST(RapiLogDeviceTest, FlushIsNearlyFree) {
+  Fixture f;
+  Duration flush_latency;
+  f.sim.Spawn([](Simulator& s, RapiLogDevice& d, Duration& lat) -> Task<void> {
+    co_await d.Write(0, Block(4096, 1), false);
+    const TimePoint t0 = s.now();
+    const BlockStatus st = co_await d.Flush();
+    lat = s.now() - t0;
+    EXPECT_EQ(st, BlockStatus::kOk);
+  }(f.sim, f.rapilog, flush_latency));
+  f.sim.RunFor(Duration::Millis(1));
+  EXPECT_LT(flush_latency, Duration::Micros(5));
+}
+
+TEST(RapiLogDeviceTest, DrainEventuallyWritesThrough) {
+  Fixture f;
+  f.sim.Spawn([](RapiLogDevice& d) -> Task<void> {
+    for (uint64_t i = 0; i < 8; ++i) {
+      co_await d.Write(i * 8, Block(4096, static_cast<uint8_t>(i)), false);
+    }
+  }(f.rapilog));
+  f.sim.Run();  // quiescence: drain finishes
+  EXPECT_EQ(f.rapilog.buffered_bytes(), 0u);
+  for (uint64_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(f.disk.image().IsDurable(i * 8)) << i;
+  }
+  EXPECT_GE(f.rapilog.stats().drained_writes.value(), 8);
+}
+
+TEST(RapiLogDeviceTest, ReadYourWritesBeforeDrain) {
+  Fixture f;
+  std::vector<uint8_t> got(4096);
+  f.sim.Spawn([](RapiLogDevice& d, std::vector<uint8_t>& out) -> Task<void> {
+    co_await d.Write(16, Block(4096, 0xAA), false);
+    // Read immediately: data is still only in the trusted buffer.
+    const BlockStatus st = co_await d.Read(16, out);
+    EXPECT_EQ(st, BlockStatus::kOk);
+  }(f.rapilog, got));
+  f.sim.Run();
+  EXPECT_EQ(got, Block(4096, 0xAA));
+}
+
+TEST(RapiLogDeviceTest, TailBlockAbsorption) {
+  Fixture f;
+  f.sim.Spawn([](RapiLogDevice& d) -> Task<void> {
+    // Rewrite the same tail block five times (group-commit pattern).
+    for (int v = 0; v < 5; ++v) {
+      co_await d.Write(100, Block(512, static_cast<uint8_t>(v)), false);
+    }
+  }(f.rapilog));
+  f.sim.RunFor(Duration::Micros(50));  // before any mechanical write lands
+  EXPECT_GE(f.rapilog.stats().absorbed_writes.value(), 3);
+  f.sim.Run();
+  // Final version is what reached the disk.
+  std::vector<uint8_t> out(512);
+  f.disk.image().ReadDurable(100, out);
+  EXPECT_EQ(out, Block(512, 4));
+}
+
+TEST(RapiLogDeviceTest, BudgetDerivedFromPowerWindow) {
+  PsuParams psu;
+  psu.holdup_at_full_load = Duration::Millis(16);
+  psu.full_load_watts = 400;
+  psu.system_load_watts = 200;  // 32 ms window
+  psu.warning_latency = Duration::Micros(200);
+  RapiLogOptions opt;
+  opt.worst_case_drain_mbps = 40.0;
+  opt.safety_factor = 0.5;
+  opt.drain_start_reserve = Duration::Millis(20);
+  Fixture f(opt, psu);
+  // Window after warning = 32 ms - 0.2 ms; 20 ms reserved for the in-flight
+  // request + the drain's first seek; (11.8 ms * 0.5) * 40 MB/s = ~236 KB.
+  EXPECT_NEAR(static_cast<double>(f.rapilog.max_buffer_bytes()), 236'000,
+              10'000);
+}
+
+TEST(RapiLogDeviceTest, AdmissionControlBlocksWhenFull) {
+  RapiLogOptions opt;
+  opt.max_buffer_bytes_override = 16 * 1024;
+  Fixture f(opt);
+  TimePoint fifth_write_done;
+  f.sim.Spawn([](Simulator& s, RapiLogDevice& d, TimePoint& t) -> Task<void> {
+    // 4 x 4 KiB fills the 16 KiB budget; the 5th must wait for a drain.
+    // (LBA 1000 puts the first block mid-rotation, so the drain's mechanical
+    // write costs real rotational latency.)
+    for (int i = 0; i < 5; ++i) {
+      co_await d.Write(1000 + static_cast<uint64_t>(i) * 8, Block(4096, 1),
+                       false);
+    }
+    t = s.now();
+  }(f.sim, f.rapilog, fifth_write_done));
+  f.sim.Run();
+  // The fifth ack had to wait for at least one mechanical write (> 500 us).
+  EXPECT_GT(fifth_write_done - TimePoint::Origin(), Duration::Micros(500));
+  EXPECT_LE(f.rapilog.stats().buffer_occupancy.max(), 16 * 1024);
+}
+
+TEST(RapiLogDeviceTest, PowerCutWithGuardLosesNothing) {
+  Fixture f;
+  f.sim.Spawn([](Simulator& s, Fixture& fx) -> Task<void> {
+    for (uint64_t i = 0; i < 32; ++i) {
+      co_await fx.rapilog.Write(i * 8, Block(4096, static_cast<uint8_t>(i)),
+                                false);
+    }
+    // Cut mains while plenty is still buffered.
+    fx.psu.CutMains();
+    co_await s.Sleep(Duration::Zero());
+  }(f.sim, f));
+  f.sim.Run();
+  EXPECT_FALSE(f.rapilog.lost_data());
+  EXPECT_FALSE(f.disk.powered());
+  // Every acknowledged sector is durable on the medium.
+  for (uint64_t i = 0; i < 32; ++i) {
+    for (uint64_t s = 0; s < 8; ++s) {
+      EXPECT_TRUE(f.disk.image().IsDurable(i * 8 + s)) << i << "," << s;
+    }
+  }
+}
+
+TEST(RapiLogDeviceTest, PowerCutWithoutGuardLosesData) {
+  RapiLogOptions opt;
+  opt.enable_power_guard = false;
+  // Long queue + tiny hold-up: drain cannot finish in time.
+  opt.max_buffer_bytes_override = 8 * 1024 * 1024;
+  PsuParams psu;
+  psu.holdup_at_full_load = Duration::Millis(16);
+  psu.system_load_watts = 390;  // ~16.4 ms window
+  Fixture f(opt, psu);
+  f.sim.Spawn([](Simulator& s, Fixture& fx) -> Task<void> {
+    for (uint64_t i = 0; i < 512; ++i) {
+      // Scattered (non-sequential) blocks: drain pays seeks.
+      co_await fx.rapilog.Write((i * 337) % 4096 * 8, Block(4096, 1), false);
+    }
+    fx.psu.CutMains();
+    co_await s.Sleep(Duration::Zero());
+  }(f.sim, f));
+  f.sim.Run();
+  EXPECT_TRUE(f.rapilog.lost_data());
+  EXPECT_GT(f.rapilog.stats().lost_bytes.value(), 0);
+}
+
+TEST(RapiLogDeviceTest, WritesDuringEmergencyAreNotAcked) {
+  Fixture f;
+  BlockStatus late_status = BlockStatus::kOk;
+  f.sim.Spawn([](Simulator& s, Fixture& fx, BlockStatus& out) -> Task<void> {
+    co_await fx.rapilog.Write(0, Block(512, 1), false);
+    fx.psu.CutMains();
+    // Wait until the warning has fired.
+    co_await s.Sleep(Duration::Millis(1));
+    out = co_await fx.rapilog.Write(8, Block(512, 2), false);
+  }(f.sim, f, late_status));
+  f.sim.Run();
+  EXPECT_EQ(late_status, BlockStatus::kDeviceOff);
+}
+
+TEST(RapiLogDeviceTest, QuiesceWaitsForEmptyBuffer) {
+  Fixture f;
+  uint64_t buffered_at_quiesce = 1;
+  f.sim.Spawn([](Fixture& fx, uint64_t& out) -> Task<void> {
+    for (uint64_t i = 0; i < 16; ++i) {
+      co_await fx.rapilog.Write(i * 8, Block(4096, 3), false);
+    }
+    co_await fx.rapilog.Quiesce();
+    out = fx.rapilog.buffered_bytes();
+  }(f, buffered_at_quiesce));
+  f.sim.Run();
+  EXPECT_EQ(buffered_at_quiesce, 0u);
+}
+
+TEST(RapiLogDeviceTest, SurvivesRestoreAndContinues) {
+  Fixture f;
+  f.sim.Spawn([](Simulator& s, Fixture& fx) -> Task<void> {
+    co_await fx.rapilog.Write(0, Block(512, 1), false);
+    fx.psu.CutMains();
+    co_await s.Sleep(fx.psu.HoldupWindow() + Duration::Millis(1));
+    fx.psu.RestoreMains();
+    const BlockStatus st = co_await fx.rapilog.Write(8, Block(512, 2), false);
+    EXPECT_EQ(st, BlockStatus::kOk);
+  }(f.sim, f));
+  f.sim.Run();
+  EXPECT_FALSE(f.rapilog.lost_data());
+  EXPECT_TRUE(f.disk.image().IsDurable(8));
+}
+
+TEST(RapiLogDeviceTest, MisalignedWriteRejected) {
+  Fixture f;
+  BlockStatus st = BlockStatus::kOk;
+  f.sim.Spawn([](RapiLogDevice& d, BlockStatus& out) -> Task<void> {
+    out = co_await d.Write(0, Block(100, 1), false);
+  }(f.rapilog, st));
+  f.sim.Run();
+  EXPECT_EQ(st, BlockStatus::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace rapilog

@@ -1,0 +1,169 @@
+#include "src/sim/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/check.h"
+#include "src/sim/rng.h"
+
+namespace rlsim {
+namespace {
+
+TEST(CounterTest, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Add();
+  c.Add(4);
+  EXPECT_EQ(c.value(), 5);
+  c.Add(-2);
+  EXPECT_EQ(c.value(), 3);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(HistogramTest, Empty) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Percentile(50), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(42);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+  EXPECT_DOUBLE_EQ(h.Mean(), 42.0);
+  // 42 lies in a bucket of width 2 at this magnitude: [42,43].
+  EXPECT_GE(h.Percentile(50), 42);
+  EXPECT_LE(h.Percentile(50), 43);
+}
+
+TEST(HistogramTest, SmallValuesExact) {
+  Histogram h;
+  for (int64_t v = 0; v < 16; ++v) {
+    h.Record(v);
+  }
+  // Values below 16 are bucketed exactly.
+  EXPECT_EQ(h.Percentile(100.0 / 16.0), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 15);
+}
+
+TEST(HistogramTest, PercentileMonotonic) {
+  Histogram h;
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    h.Record(rng.UniformInt(0, 1'000'000));
+  }
+  int64_t prev = 0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    const int64_t v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, RelativeErrorBounded) {
+  Histogram h;
+  const int64_t value = 123'456'789;
+  h.Record(value);
+  const int64_t p = h.Percentile(50);
+  // Log-linear bucketing guarantees <= 1/16 relative error.
+  EXPECT_GE(p, value);
+  EXPECT_LE(p, value + value / 8);
+}
+
+TEST(HistogramTest, UniformMedianApprox) {
+  Histogram h;
+  Rng rng(7);
+  for (int i = 0; i < 100'000; ++i) {
+    h.Record(rng.UniformInt(0, 1000));
+  }
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 500, 40);
+  EXPECT_NEAR(h.Mean(), 500, 10);
+}
+
+TEST(HistogramTest, NegativeValueRejected) {
+  Histogram h;
+  EXPECT_THROW(h.Record(-1), CheckFailure);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 100; ++i) {
+    a.Record(10);
+    b.Record(1000);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+  EXPECT_NEAR(a.Mean(), 505.0, 1.0);
+}
+
+TEST(HistogramTest, MergeIntoEmpty) {
+  Histogram a;
+  Histogram b;
+  b.Record(5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_EQ(a.min(), 5);
+  EXPECT_EQ(a.max(), 5);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Record(5);
+  h.Record(500);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, StdDevApprox) {
+  Histogram h;
+  Rng rng(11);
+  for (int i = 0; i < 200'000; ++i) {
+    h.Record(static_cast<int64_t>(std::max(0.0, rng.Normal(1000, 100))));
+  }
+  EXPECT_NEAR(h.StdDev(), 100.0, 5.0);
+}
+
+TEST(HistogramTest, DurationRecording) {
+  Histogram h;
+  h.RecordDuration(Duration::Millis(5));
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_GE(h.PercentileDuration(50), Duration::Millis(5));
+  EXPECT_LE(h.PercentileDuration(50), Duration::Millis(6));
+}
+
+TEST(HistogramTest, SummaryNonEmpty) {
+  Histogram h;
+  h.Record(100);
+  EXPECT_NE(h.Summary().find("n=1"), std::string::npos);
+  EXPECT_NE(h.DurationSummary().find("n=1"), std::string::npos);
+}
+
+TEST(RateMeterTest, PerSecond) {
+  RateMeter m;
+  m.Start(TimePoint::Origin());
+  m.Tick(500);
+  const TimePoint later = TimePoint::Origin() + Duration::Seconds(2);
+  EXPECT_DOUBLE_EQ(m.PerSecond(later), 250.0);
+  EXPECT_EQ(m.events(), 500);
+}
+
+TEST(RateMeterTest, ZeroWindowSafe) {
+  RateMeter m;
+  m.Start(TimePoint::Origin());
+  m.Tick();
+  EXPECT_DOUBLE_EQ(m.PerSecond(TimePoint::Origin()), 0.0);
+}
+
+}  // namespace
+}  // namespace rlsim

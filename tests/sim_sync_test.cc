@@ -1,0 +1,282 @@
+#include "src/sim/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace rlsim {
+namespace {
+
+TEST(SimEventTest, WaiterWakesOnSet) {
+  Simulator sim;
+  SimEvent event(sim);
+  TimePoint woke;
+  sim.Spawn([](Simulator& s, SimEvent& e, TimePoint& out) -> Task<void> {
+    co_await e.Wait();
+    out = s.now();
+  }(sim, event, woke));
+  sim.Schedule(Duration::Millis(7), [&] { event.Set(); });
+  sim.Run();
+  EXPECT_EQ(woke, TimePoint::Origin() + Duration::Millis(7));
+}
+
+TEST(SimEventTest, AlreadySetDoesNotBlock) {
+  Simulator sim;
+  SimEvent event(sim);
+  event.Set();
+  bool ran = false;
+  sim.Spawn([](SimEvent& e, bool& r) -> Task<void> {
+    co_await e.Wait();
+    r = true;
+  }(event, ran));
+  sim.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimEventTest, BroadcastWakesAllWaiters) {
+  Simulator sim;
+  SimEvent event(sim);
+  int woken = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.Spawn([](SimEvent& e, int& w) -> Task<void> {
+      co_await e.Wait();
+      ++w;
+    }(event, woken));
+  }
+  sim.Schedule(Duration::Millis(1), [&] { event.Set(); });
+  sim.Run();
+  EXPECT_EQ(woken, 10);
+}
+
+TEST(SemaphoreTest, LimitsConcurrency) {
+  Simulator sim;
+  Semaphore sem(sim, 2);
+  int concurrent = 0;
+  int max_concurrent = 0;
+  for (int i = 0; i < 8; ++i) {
+    sim.Spawn([](Simulator& s, Semaphore& sm, int& cur, int& mx) -> Task<void> {
+      co_await sm.Acquire();
+      ++cur;
+      mx = std::max(mx, cur);
+      co_await s.Sleep(Duration::Millis(1));
+      --cur;
+      sm.Release();
+    }(sim, sem, concurrent, max_concurrent));
+  }
+  sim.Run();
+  EXPECT_EQ(max_concurrent, 2);
+  EXPECT_EQ(sem.available(), 2);
+}
+
+TEST(SemaphoreTest, TryAcquire) {
+  Simulator sim;
+  Semaphore sem(sim, 1);
+  EXPECT_TRUE(sem.TryAcquire());
+  EXPECT_FALSE(sem.TryAcquire());
+  sem.Release();
+  EXPECT_TRUE(sem.TryAcquire());
+}
+
+TEST(SimMutexTest, MutualExclusionAndFifo) {
+  Simulator sim;
+  SimMutex mutex(sim);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Spawn([](Simulator& s, SimMutex& m, std::vector<int>& o,
+                 int id) -> Task<void> {
+      auto guard = co_await m.Lock();
+      o.push_back(id);
+      co_await s.Sleep(Duration::Millis(1));
+      o.push_back(id);
+    }(sim, mutex, order, i));
+  }
+  sim.Run();
+  ASSERT_EQ(order.size(), 10u);
+  // Entries come in adjacent pairs: no interleaving inside the critical
+  // section, and FIFO admission order.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(2 * i)], i);
+    EXPECT_EQ(order[static_cast<size_t>(2 * i + 1)], i);
+  }
+  EXPECT_FALSE(mutex.locked());
+}
+
+TEST(SimMutexTest, GuardReleasesEarly) {
+  Simulator sim;
+  SimMutex mutex(sim);
+  sim.Spawn([](SimMutex& m) -> Task<void> {
+    auto guard = co_await m.Lock();
+    guard.Release();
+    // Re-acquirable immediately after release.
+    auto guard2 = co_await m.Lock();
+  }(mutex));
+  sim.Run();
+  EXPECT_FALSE(mutex.locked());
+}
+
+TEST(CompletionTest, WaiterGetsValue) {
+  Simulator sim;
+  Completion<int> done(sim);
+  int got = 0;
+  sim.Spawn([](Completion<int>& c, int& out) -> Task<void> {
+    out = co_await c.Wait();
+  }(done, got));
+  sim.Schedule(Duration::Millis(3), [&] { done.Complete(77); });
+  sim.Run();
+  EXPECT_EQ(got, 77);
+  EXPECT_TRUE(done.completed());
+  EXPECT_EQ(done.value(), 77);
+}
+
+TEST(CompletionTest, LateWaiterSeesValueImmediately) {
+  Simulator sim;
+  Completion<std::string> done(sim);
+  done.Complete("ready");
+  std::string got;
+  sim.Spawn([](Completion<std::string>& c, std::string& out) -> Task<void> {
+    out = co_await c.Wait();
+  }(done, got));
+  sim.Run();
+  EXPECT_EQ(got, "ready");
+}
+
+TEST(CompletionTest, DoubleCompleteFails) {
+  Simulator sim;
+  Completion<int> done(sim);
+  done.Complete(1);
+  EXPECT_THROW(done.Complete(2), CheckFailure);
+}
+
+TEST(ChannelTest, FifoDelivery) {
+  Simulator sim;
+  Channel<int> ch(sim, 4);
+  std::vector<int> received;
+  sim.Spawn([](Channel<int>& c, std::vector<int>& out) -> Task<void> {
+    while (true) {
+      auto v = co_await c.Receive();
+      if (!v) {
+        break;
+      }
+      out.push_back(*v);
+    }
+  }(ch, received));
+  sim.Spawn([](Simulator& s, Channel<int>& c) -> Task<void> {
+    for (int i = 0; i < 10; ++i) {
+      co_await c.Send(i);
+      co_await s.Sleep(Duration::Micros(10));
+    }
+    c.Close();
+  }(sim, ch));
+  sim.Run();
+  ASSERT_EQ(received.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(received[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(ChannelTest, BoundedCapacityBlocksSender) {
+  Simulator sim;
+  Channel<int> ch(sim, 2);
+  TimePoint third_send_done;
+  sim.Spawn([](Simulator& s, Channel<int>& c, TimePoint& out) -> Task<void> {
+    co_await c.Send(1);
+    co_await c.Send(2);
+    co_await c.Send(3);  // blocks until a receive frees a slot
+    out = s.now();
+  }(sim, ch, third_send_done));
+  sim.Spawn([](Simulator& s, Channel<int>& c) -> Task<void> {
+    co_await s.Sleep(Duration::Millis(5));
+    co_await c.Receive();
+  }(sim, ch));
+  sim.Run();
+  EXPECT_EQ(third_send_done, TimePoint::Origin() + Duration::Millis(5));
+}
+
+TEST(ChannelTest, TrySendRespectsCapacity) {
+  Simulator sim;
+  Channel<int> ch(sim, 1);
+  EXPECT_TRUE(ch.TrySend(1));
+  EXPECT_FALSE(ch.TrySend(2));
+}
+
+TEST(ChannelTest, CloseDrainsThenSignals) {
+  Simulator sim;
+  Channel<int> ch(sim, 4);
+  EXPECT_TRUE(ch.TrySend(7));
+  ch.Close();
+  std::vector<std::optional<int>> got;
+  sim.Spawn([](Channel<int>& c, std::vector<std::optional<int>>& out)
+                -> Task<void> {
+    out.push_back(co_await c.Receive());
+    out.push_back(co_await c.Receive());
+  }(ch, got));
+  sim.Run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], std::optional<int>(7));
+  EXPECT_EQ(got[1], std::nullopt);
+}
+
+TEST(TaskGroupTest, JoinWaitsForAll) {
+  Simulator sim;
+  TaskGroup group(sim);
+  int completed = 0;
+  TimePoint join_time;
+  for (int i = 1; i <= 4; ++i) {
+    group.Spawn([](Simulator& s, int ms, int& done) -> Task<void> {
+      co_await s.Sleep(Duration::Millis(ms));
+      ++done;
+    }(sim, i, completed));
+  }
+  sim.Spawn([](Simulator& s, TaskGroup& g, TimePoint& out) -> Task<void> {
+    co_await g.Join();
+    out = s.now();
+  }(sim, group, join_time));
+  sim.Run();
+  EXPECT_EQ(completed, 4);
+  EXPECT_EQ(join_time, TimePoint::Origin() + Duration::Millis(4));
+}
+
+TEST(TaskGroupTest, ChildExceptionRethrownAtJoin) {
+  Simulator sim;
+  TaskGroup group(sim);
+  group.Spawn([](Simulator& s) -> Task<void> {
+    co_await s.Sleep(Duration::Millis(1));
+    throw std::runtime_error("child failed");
+  }(sim));
+  bool caught = false;
+  sim.Spawn([](TaskGroup& g, bool& c) -> Task<void> {
+    try {
+      co_await g.Join();
+    } catch (const std::runtime_error&) {
+      c = true;
+    }
+  }(group, caught));
+  sim.Run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(WaitQueueTest, NotifyOneWakesSingleWaiter) {
+  Simulator sim;
+  WaitQueue wq(sim);
+  int woken = 0;
+  for (int i = 0; i < 3; ++i) {
+    sim.Spawn([](WaitQueue& q, int& w) -> Task<void> {
+      co_await q.Wait();
+      ++w;
+    }(wq, woken));
+  }
+  sim.Schedule(Duration::Millis(1), [&] { wq.NotifyOne(); });
+  sim.Run();
+  EXPECT_EQ(woken, 1);
+  EXPECT_EQ(wq.waiter_count(), 2u);
+  wq.NotifyAll();
+  sim.Run();
+  EXPECT_EQ(woken, 3);
+}
+
+}  // namespace
+}  // namespace rlsim

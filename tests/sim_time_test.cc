@@ -1,0 +1,78 @@
+#include "src/sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace rlsim {
+namespace {
+
+TEST(DurationTest, Constructors) {
+  EXPECT_EQ(Duration::Nanos(5).nanos(), 5);
+  EXPECT_EQ(Duration::Micros(5).nanos(), 5'000);
+  EXPECT_EQ(Duration::Millis(5).nanos(), 5'000'000);
+  EXPECT_EQ(Duration::Seconds(5).nanos(), 5'000'000'000);
+  EXPECT_EQ(Duration::SecondsF(0.5).nanos(), 500'000'000);
+  EXPECT_EQ(Duration::Zero().nanos(), 0);
+}
+
+TEST(DurationTest, Arithmetic) {
+  const Duration a = Duration::Millis(3);
+  const Duration b = Duration::Millis(2);
+  EXPECT_EQ((a + b).millis(), 5);
+  EXPECT_EQ((a - b).millis(), 1);
+  EXPECT_EQ((a * 4).millis(), 12);
+  EXPECT_EQ((a / 3).millis(), 1);
+  EXPECT_DOUBLE_EQ(a / b, 1.5);
+  EXPECT_EQ((-a).millis(), -3);
+}
+
+TEST(DurationTest, ScalarDoubleMultiply) {
+  EXPECT_EQ((Duration::Seconds(1) * 0.25).millis(), 250);
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(Duration::Micros(999), Duration::Millis(1));
+  EXPECT_EQ(Duration::Micros(1000), Duration::Millis(1));
+  EXPECT_GT(Duration::Seconds(1), Duration::Millis(999));
+}
+
+TEST(DurationTest, CompoundAssignment) {
+  Duration d = Duration::Millis(1);
+  d += Duration::Millis(2);
+  EXPECT_EQ(d.millis(), 3);
+  d -= Duration::Millis(1);
+  EXPECT_EQ(d.millis(), 2);
+}
+
+TEST(DurationTest, FloatConversions) {
+  EXPECT_DOUBLE_EQ(Duration::Millis(1500).ToSecondsF(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::Micros(1500).ToMillisF(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::Nanos(1500).ToMicrosF(), 1.5);
+}
+
+TEST(TimePointTest, Arithmetic) {
+  const TimePoint t0 = TimePoint::Origin();
+  const TimePoint t1 = t0 + Duration::Seconds(2);
+  EXPECT_EQ((t1 - t0).ToSecondsF(), 2.0);
+  EXPECT_EQ((t1 - Duration::Seconds(1)).nanos(), 1'000'000'000);
+  TimePoint t = t0;
+  t += Duration::Millis(5);
+  EXPECT_EQ(t.nanos(), 5'000'000);
+}
+
+TEST(TimePointTest, Ordering) {
+  const TimePoint a = TimePoint::FromNanos(10);
+  const TimePoint b = TimePoint::FromNanos(20);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, TimePoint::FromNanos(10));
+  EXPECT_LT(a, TimePoint::Max());
+}
+
+TEST(TimeToString, Formats) {
+  EXPECT_EQ(ToString(Duration::Nanos(500)), "500ns");
+  EXPECT_EQ(ToString(Duration::Micros(12)), "12.000us");
+  EXPECT_EQ(ToString(Duration::Millis(3)), "3.000ms");
+  EXPECT_EQ(ToString(Duration::Seconds(2)), "2.000s");
+}
+
+}  // namespace
+}  // namespace rlsim

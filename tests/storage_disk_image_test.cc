@@ -1,0 +1,149 @@
+#include "src/storage/disk_image.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+
+#include "src/sim/check.h"
+
+namespace rlstor {
+namespace {
+
+using SectorBuf = std::array<uint8_t, kSectorSize>;
+
+SectorBuf Pattern(uint8_t fill) {
+  SectorBuf buf;
+  buf.fill(fill);
+  return buf;
+}
+
+TEST(DiskImageTest, UnwrittenReadsZero) {
+  DiskImage img(100);
+  SectorBuf out = Pattern(0xFF);
+  img.Read(5, out);
+  for (uint8_t b : out) {
+    EXPECT_EQ(b, 0);
+  }
+  EXPECT_EQ(img.state(5), SectorState::kUnwritten);
+  EXPECT_TRUE(img.IsDurable(5));
+}
+
+TEST(DiskImageTest, CachedWriteReadsBackButNotDurable) {
+  DiskImage img(100);
+  const SectorBuf data = Pattern(0xAB);
+  img.WriteCached(3, data);
+  SectorBuf out{};
+  img.Read(3, out);
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(img.state(3), SectorState::kCachedVolatile);
+  EXPECT_FALSE(img.IsDurable(3));
+  // The durable medium still reads as zero.
+  img.ReadDurable(3, out);
+  EXPECT_EQ(out, Pattern(0));
+}
+
+TEST(DiskImageTest, DurableWriteSurvivesPowerLoss) {
+  DiskImage img(100);
+  const SectorBuf data = Pattern(0xCD);
+  img.WriteDurable(7, data);
+  img.PowerLoss();
+  SectorBuf out{};
+  img.Read(7, out);
+  EXPECT_EQ(out, data);
+  EXPECT_TRUE(img.IsDurable(7));
+}
+
+TEST(DiskImageTest, CachedWriteLostOnPowerLoss) {
+  DiskImage img(100);
+  img.WriteCached(7, Pattern(0xCD));
+  img.PowerLoss();
+  SectorBuf out{};
+  img.Read(7, out);
+  EXPECT_EQ(out, Pattern(0));
+  EXPECT_EQ(img.state(7), SectorState::kUnwritten);
+}
+
+TEST(DiskImageTest, HardenMakesCachedDurable) {
+  DiskImage img(100);
+  const SectorBuf data = Pattern(0x11);
+  img.WriteCached(9, data);
+  img.Harden(9);
+  EXPECT_EQ(img.state(9), SectorState::kDurable);
+  img.PowerLoss();
+  SectorBuf out{};
+  img.Read(9, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(DiskImageTest, HardenAllFlushesEverything) {
+  DiskImage img(100);
+  for (uint64_t s = 0; s < 20; ++s) {
+    img.WriteCached(s, Pattern(static_cast<uint8_t>(s)));
+  }
+  EXPECT_EQ(img.cached_sector_count(), 20u);
+  img.HardenAll();
+  EXPECT_EQ(img.cached_sector_count(), 0u);
+  for (uint64_t s = 0; s < 20; ++s) {
+    EXPECT_EQ(img.state(s), SectorState::kDurable);
+  }
+}
+
+TEST(DiskImageTest, HardenOfNonCachedIsNoOp) {
+  DiskImage img(100);
+  img.Harden(3);
+  EXPECT_EQ(img.state(3), SectorState::kUnwritten);
+}
+
+TEST(DiskImageTest, CacheShadowsDurableUntilHardened) {
+  DiskImage img(100);
+  img.WriteDurable(4, Pattern(0x01));
+  img.WriteCached(4, Pattern(0x02));
+  SectorBuf out{};
+  img.Read(4, out);
+  EXPECT_EQ(out, Pattern(0x02));  // newest wins
+  img.ReadDurable(4, out);
+  EXPECT_EQ(out, Pattern(0x01));  // medium still has old version
+  img.PowerLoss();
+  img.Read(4, out);
+  EXPECT_EQ(out, Pattern(0x01));  // cached version lost
+}
+
+TEST(DiskImageTest, TornSectorMarkedAndCorrupted) {
+  DiskImage img(100);
+  img.WriteDurable(12, Pattern(0x55));
+  img.PowerLoss(/*torn_sector=*/12);
+  EXPECT_EQ(img.state(12), SectorState::kTorn);
+  EXPECT_FALSE(img.IsDurable(12));
+  SectorBuf out{};
+  img.Read(12, out);
+  EXPECT_NE(out, Pattern(0x55));
+}
+
+TEST(DiskImageTest, RewriteClearsTornState) {
+  DiskImage img(100);
+  img.PowerLoss(/*torn_sector=*/12);
+  EXPECT_EQ(img.state(12), SectorState::kTorn);
+  img.WriteDurable(12, Pattern(0x66));
+  EXPECT_EQ(img.state(12), SectorState::kDurable);
+}
+
+TEST(DiskImageTest, OutOfRangeRejected) {
+  DiskImage img(10);
+  SectorBuf buf{};
+  EXPECT_THROW(img.Read(10, buf), rlsim::CheckFailure);
+  EXPECT_THROW(img.WriteDurable(11, buf), rlsim::CheckFailure);
+  EXPECT_THROW(img.WriteCached(100, buf), rlsim::CheckFailure);
+}
+
+TEST(DiskImageTest, CachedBytesAccounting) {
+  DiskImage img(100);
+  img.WriteCached(1, Pattern(1));
+  img.WriteCached(2, Pattern(2));
+  img.WriteCached(1, Pattern(3));  // overwrite, no growth
+  EXPECT_EQ(img.cached_sector_count(), 2u);
+  EXPECT_EQ(img.cached_bytes(), 2u * kSectorSize);
+}
+
+}  // namespace
+}  // namespace rlstor

@@ -1,0 +1,142 @@
+// Emergency-seal semantics: when the trusted layer seals a device for the
+// emergency flush, queued and future non-FUA requests fail fast and the
+// FUA drain gets the actuator almost immediately.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/storage/block_device.h"
+
+namespace rlstor {
+namespace {
+
+using rlsim::Duration;
+using rlsim::Simulator;
+using rlsim::Task;
+using rlsim::TimePoint;
+
+std::vector<uint8_t> Buf(size_t bytes, uint8_t fill) {
+  return std::vector<uint8_t>(bytes, fill);
+}
+
+TEST(EmergencyModeTest, NonFuaRejectedImmediately) {
+  Simulator sim;
+  SimBlockDevice dev(sim,
+                     SimBlockDevice::Options{.geometry = {.sector_count =
+                                                              1 << 16}},
+                     MakeDefaultHdd());
+  dev.EnterEmergencyMode();
+  BlockStatus w = BlockStatus::kOk;
+  BlockStatus r = BlockStatus::kOk;
+  BlockStatus fl = BlockStatus::kOk;
+  std::vector<uint8_t> out(512);
+  sim.Spawn([](SimBlockDevice& d, BlockStatus& a, BlockStatus& b,
+               BlockStatus& c, std::vector<uint8_t>& o) -> Task<void> {
+    a = co_await d.Write(0, Buf(512, 1), /*fua=*/false);
+    b = co_await d.Read(0, o);
+    c = co_await d.Flush();
+  }(dev, w, r, fl, out));
+  sim.Run();
+  EXPECT_EQ(w, BlockStatus::kDeviceOff);
+  EXPECT_EQ(r, BlockStatus::kDeviceOff);
+  EXPECT_EQ(fl, BlockStatus::kDeviceOff);
+}
+
+TEST(EmergencyModeTest, FuaWritesStillServiced) {
+  Simulator sim;
+  SimBlockDevice dev(sim,
+                     SimBlockDevice::Options{.geometry = {.sector_count =
+                                                              1 << 16}},
+                     MakeDefaultHdd());
+  dev.EnterEmergencyMode();
+  BlockStatus st = BlockStatus::kDeviceOff;
+  sim.Spawn([](SimBlockDevice& d, BlockStatus& out) -> Task<void> {
+    out = co_await d.Write(100, Buf(4096, 2), /*fua=*/true);
+  }(dev, st));
+  sim.Run();
+  EXPECT_EQ(st, BlockStatus::kOk);
+  EXPECT_TRUE(dev.image().IsDurable(100));
+}
+
+TEST(EmergencyModeTest, QueuedRequestsAbandonTheActuator) {
+  Simulator sim;
+  SimBlockDevice dev(sim,
+                     SimBlockDevice::Options{.geometry = {.sector_count =
+                                                              1 << 20}},
+                     MakeDefaultHdd());
+  // Queue a pile of slow mechanical reads, then seal the device and issue
+  // the emergency FUA write. It must not wait for the whole queue.
+  TimePoint fua_done;
+  int reads_failed = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.Spawn([](SimBlockDevice& d, int idx, int& failed) -> Task<void> {
+      std::vector<uint8_t> out(512);
+      const BlockStatus st =
+          co_await d.Read(static_cast<uint64_t>(idx) * 100'000, out);
+      if (st != BlockStatus::kOk) {
+        ++failed;
+      }
+    }(dev, i, reads_failed));
+  }
+  sim.Spawn([](Simulator& s, SimBlockDevice& d, TimePoint& done) -> Task<void> {
+    co_await s.Sleep(Duration::Millis(1));  // let the reads queue up
+    d.EnterEmergencyMode();
+    co_await d.Write(0, Buf(8192, 3), /*fua=*/true);
+    done = s.now();
+  }(sim, dev, fua_done));
+  sim.Run();
+  // At most one in-flight mechanical read (~<=17 ms) plus the write itself
+  // could delay us; ten queued reads (~100+ ms) must not.
+  EXPECT_LT(fua_done - TimePoint::Origin(), Duration::Millis(45));
+  EXPECT_GE(reads_failed, 8);  // the queued ones were discarded
+}
+
+TEST(EmergencyModeTest, PowerRestoreClearsSeal) {
+  Simulator sim;
+  SimBlockDevice dev(sim,
+                     SimBlockDevice::Options{.geometry = {.sector_count =
+                                                              1 << 16}},
+                     MakeDefaultHdd());
+  dev.EnterEmergencyMode();
+  dev.PowerLoss();
+  dev.PowerRestore();
+  EXPECT_FALSE(dev.emergency_mode());
+  BlockStatus st = BlockStatus::kDeviceOff;
+  sim.Spawn([](SimBlockDevice& d, BlockStatus& out) -> Task<void> {
+    out = co_await d.Write(0, Buf(512, 1), /*fua=*/false);
+  }(dev, st));
+  sim.Run();
+  EXPECT_EQ(st, BlockStatus::kOk);
+}
+
+TEST(EmergencyModeTest, ExplicitExitClearsSeal) {
+  Simulator sim;
+  SimBlockDevice dev(sim,
+                     SimBlockDevice::Options{.geometry = {.sector_count =
+                                                              1 << 16}},
+                     MakeDefaultHdd());
+  dev.EnterEmergencyMode();
+  dev.ExitEmergencyMode();
+  EXPECT_FALSE(dev.emergency_mode());
+}
+
+TEST(EmergencyModeTest, DestageHaltsDuringEmergency) {
+  Simulator sim;
+  SimBlockDevice dev(sim,
+                     SimBlockDevice::Options{.geometry = {.sector_count =
+                                                              1 << 16}},
+                     MakeDefaultHdd());
+  sim.Spawn([](Simulator& s, SimBlockDevice& d) -> Task<void> {
+    co_await d.Write(0, Buf(4096, 1), /*fua=*/false);  // volatile cache
+    d.EnterEmergencyMode();
+    co_await s.Sleep(Duration::Seconds(1));
+    // The destage loop must not have hardened it (the spindle belongs to
+    // the emergency flush; the cache is doomed anyway).
+    EXPECT_GT(d.dirty_sectors(), 0u);
+  }(sim, dev));
+  sim.Run();
+}
+
+}  // namespace
+}  // namespace rlstor

@@ -1,0 +1,153 @@
+#include "src/workload/tpcc_lite.h"
+#include "src/workload/kv_workload.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulator.h"
+#include "src/storage/block_device.h"
+
+namespace rlwork {
+namespace {
+
+using rlsim::Duration;
+using rlsim::Simulator;
+using rlsim::Task;
+using rlstor::SimBlockDevice;
+
+TEST(KeyEncodingTest, FieldsDoNotCollide) {
+  const uint64_t a = MakeKey(Table::kCustomer, 1, 2, 3);
+  EXPECT_NE(a, MakeKey(Table::kStock, 1, 2, 3));
+  EXPECT_NE(a, MakeKey(Table::kCustomer, 2, 2, 3));
+  EXPECT_NE(a, MakeKey(Table::kCustomer, 1, 3, 3));
+  EXPECT_NE(a, MakeKey(Table::kCustomer, 1, 2, 4));
+}
+
+TEST(RowValueTest, DeterministicAndSeedSensitive) {
+  EXPECT_EQ(RowValue(96, 1, 2), RowValue(96, 1, 2));
+  EXPECT_NE(RowValue(96, 1, 2), RowValue(96, 1, 3));
+  EXPECT_NE(RowValue(96, 1, 2), RowValue(96, 2, 2));
+  EXPECT_EQ(RowValue(96, 1, 2).size(), 96u);
+}
+
+struct DbFixture {
+  DbFixture()
+      : cpu(sim),
+        data(sim,
+             SimBlockDevice::Options{.geometry = {.sector_count = 1 << 20}},
+             rlstor::MakeDefaultSsd()),
+        log(sim,
+            SimBlockDevice::Options{.geometry = {.sector_count = 1 << 20}},
+            rlstor::MakeDefaultSsd()) {}
+
+  Task<void> OpenDb() {
+    rldb::DbOptions opts;
+    opts.pool_pages = 1024;
+    opts.journal_pages = 600;
+    opts.profile.checkpoint_dirty_pages = 256;
+    db = co_await rldb::Database::Open(sim, cpu, data, log, opts);
+  }
+
+  Simulator sim;
+  rldb::NativeCpu cpu;
+  SimBlockDevice data;
+  SimBlockDevice log;
+  std::unique_ptr<rldb::Database> db;
+};
+
+TEST(TpccLiteTest, LoadsAndRunsMixedClients) {
+  DbFixture f;
+  TpccConfig cfg;
+  cfg.warehouses = 1;
+  cfg.districts_per_warehouse = 4;
+  cfg.customers_per_district = 20;
+  cfg.items = 200;
+  TpccLite tpcc(f.sim, cfg);
+  bool stop = false;
+  f.sim.Spawn([](DbFixture& fx, TpccLite& w, bool& stop_flag) -> Task<void> {
+    co_await fx.OpenDb();
+    co_await w.LoadInitial(*fx.db);
+    // Everything loaded: districts + customers + stock.
+    const uint64_t expected = 4 + 4 * 20 + 200;
+    EXPECT_EQ(co_await fx.db->CommittedCount(), expected);
+    for (int c = 0; c < 4; ++c) {
+      fx.sim.Spawn(w.RunClient(*fx.db, c, &stop_flag, nullptr));
+    }
+    co_await fx.sim.Sleep(Duration::Seconds(1));
+    stop_flag = true;
+  }(f, tpcc, stop));
+  f.sim.Run();
+  EXPECT_GT(tpcc.stats().committed.value(), 100);
+  EXPECT_GT(tpcc.stats().new_orders.value(), 10);
+  EXPECT_GT(tpcc.stats().payments.value(), 10);
+  EXPECT_GT(tpcc.stats().read_only.value(), 0);
+}
+
+TEST(TpccLiteTest, CheckerSeesConsistentState) {
+  DbFixture f;
+  TpccConfig cfg;
+  cfg.warehouses = 1;
+  cfg.districts_per_warehouse = 2;
+  cfg.customers_per_district = 10;
+  cfg.items = 100;
+  TpccLite tpcc(f.sim, cfg);
+  rlfault::DurabilityChecker checker;
+  rlfault::VerifyResult verdict;
+  bool stop = false;
+  f.sim.Spawn([](DbFixture& fx, TpccLite& w, rlfault::DurabilityChecker& chk,
+                 rlfault::VerifyResult& out, bool& stop_flag) -> Task<void> {
+    co_await fx.OpenDb();
+    co_await w.LoadInitial(*fx.db);
+    for (int c = 0; c < 3; ++c) {
+      fx.sim.Spawn(w.RunClient(*fx.db, c, &stop_flag, &chk));
+    }
+    co_await fx.sim.Sleep(Duration::Millis(500));
+    stop_flag = true;
+    co_await fx.sim.Sleep(Duration::Millis(50));
+    out = co_await chk.VerifyAfterRecovery(*fx.db);
+  }(f, tpcc, checker, verdict, stop));
+  f.sim.Run();
+  EXPECT_GT(verdict.keys_checked, 0u);
+  EXPECT_TRUE(verdict.ok()) << verdict.Summary();
+}
+
+TEST(KvWorkloadTest, RunsAndVerifies) {
+  DbFixture f;
+  KvWorkload kv(f.sim, KvConfig{.key_space = 500, .zipf_theta = 0.9});
+  rlfault::DurabilityChecker checker;
+  rlfault::VerifyResult verdict;
+  bool stop = false;
+  f.sim.Spawn([](DbFixture& fx, KvWorkload& w, rlfault::DurabilityChecker& chk,
+                 rlfault::VerifyResult& out, bool& stop_flag) -> Task<void> {
+    co_await fx.OpenDb();
+    co_await w.Load(*fx.db, 200);
+    for (int c = 0; c < 4; ++c) {
+      fx.sim.Spawn(w.RunClient(*fx.db, c, &stop_flag, &chk));
+    }
+    co_await fx.sim.Sleep(Duration::Millis(500));
+    stop_flag = true;
+    co_await fx.sim.Sleep(Duration::Millis(50));
+    out = co_await chk.VerifyAfterRecovery(*fx.db);
+  }(f, kv, checker, verdict, stop));
+  f.sim.Run();
+  EXPECT_GT(kv.stats().committed.value(), 50);
+  EXPECT_TRUE(verdict.ok()) << verdict.Summary();
+}
+
+TEST(LogStressTest, MeasuresCommitRate) {
+  DbFixture f;
+  LogStress stress(f.sim);
+  bool stop = false;
+  f.sim.Spawn([](DbFixture& fx, LogStress& w, bool& stop_flag) -> Task<void> {
+    co_await fx.OpenDb();
+    for (int c = 0; c < 2; ++c) {
+      fx.sim.Spawn(w.RunClient(*fx.db, c, &stop_flag));
+    }
+    co_await fx.sim.Sleep(Duration::Millis(300));
+    stop_flag = true;
+  }(f, stress, stop));
+  f.sim.Run();
+  EXPECT_GT(stress.stats().committed.value(), 100);
+}
+
+}  // namespace
+}  // namespace rlwork
