@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_oscrash.dir/bench_e10_oscrash.cc.o"
+  "CMakeFiles/bench_e10_oscrash.dir/bench_e10_oscrash.cc.o.d"
+  "bench_e10_oscrash"
+  "bench_e10_oscrash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_oscrash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_tpcc_pg.dir/bench_e2_tpcc_pg.cc.o"
+  "CMakeFiles/bench_e2_tpcc_pg.dir/bench_e2_tpcc_pg.cc.o.d"
+  "bench_e2_tpcc_pg"
+  "bench_e2_tpcc_pg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_tpcc_pg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_tpcc_innodb.dir/bench_e3_tpcc_innodb.cc.o"
+  "CMakeFiles/bench_e3_tpcc_innodb.dir/bench_e3_tpcc_innodb.cc.o.d"
+  "bench_e3_tpcc_innodb"
+  "bench_e3_tpcc_innodb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_tpcc_innodb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

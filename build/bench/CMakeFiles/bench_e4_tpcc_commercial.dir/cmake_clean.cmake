@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_tpcc_commercial.dir/bench_e4_tpcc_commercial.cc.o"
+  "CMakeFiles/bench_e4_tpcc_commercial.dir/bench_e4_tpcc_commercial.cc.o.d"
+  "bench_e4_tpcc_commercial"
+  "bench_e4_tpcc_commercial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_tpcc_commercial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_disk_matrix.dir/bench_e5_disk_matrix.cc.o"
+  "CMakeFiles/bench_e5_disk_matrix.dir/bench_e5_disk_matrix.cc.o.d"
+  "bench_e5_disk_matrix"
+  "bench_e5_disk_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_disk_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_powerfail.dir/bench_e8_powerfail.cc.o"
+  "CMakeFiles/bench_e8_powerfail.dir/bench_e8_powerfail.cc.o.d"
+  "bench_e8_powerfail"
+  "bench_e8_powerfail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_powerfail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_holdup.dir/bench_e9_holdup.cc.o"
+  "CMakeFiles/bench_e9_holdup.dir/bench_e9_holdup.cc.o.d"
+  "bench_e9_holdup"
+  "bench_e9_holdup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_holdup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapilog_db.dir/btree.cc.o"
+  "CMakeFiles/rapilog_db.dir/btree.cc.o.d"
+  "CMakeFiles/rapilog_db.dir/buffer_pool.cc.o"
+  "CMakeFiles/rapilog_db.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/rapilog_db.dir/database.cc.o"
+  "CMakeFiles/rapilog_db.dir/database.cc.o.d"
+  "CMakeFiles/rapilog_db.dir/lock_manager.cc.o"
+  "CMakeFiles/rapilog_db.dir/lock_manager.cc.o.d"
+  "CMakeFiles/rapilog_db.dir/wal.cc.o"
+  "CMakeFiles/rapilog_db.dir/wal.cc.o.d"
+  "librapilog_db.a"
+  "librapilog_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapilog_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapilog_faults.dir/durability_checker.cc.o"
+  "CMakeFiles/rapilog_faults.dir/durability_checker.cc.o.d"
+  "librapilog_faults.a"
+  "librapilog_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapilog_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

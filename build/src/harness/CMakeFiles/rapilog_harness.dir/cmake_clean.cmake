@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapilog_harness.dir/testbed.cc.o"
+  "CMakeFiles/rapilog_harness.dir/testbed.cc.o.d"
+  "librapilog_harness.a"
+  "librapilog_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapilog_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librapilog_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapilog_microkernel.dir/kernel.cc.o"
+  "CMakeFiles/rapilog_microkernel.dir/kernel.cc.o.d"
+  "librapilog_microkernel.a"
+  "librapilog_microkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapilog_microkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapilog_power.dir/power.cc.o"
+  "CMakeFiles/rapilog_power.dir/power.cc.o.d"
+  "librapilog_power.a"
+  "librapilog_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapilog_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rapilog/rapilog_device.cc" "src/rapilog/CMakeFiles/rapilog_core.dir/rapilog_device.cc.o" "gcc" "src/rapilog/CMakeFiles/rapilog_core.dir/rapilog_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rapilog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rapilog_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/rapilog_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

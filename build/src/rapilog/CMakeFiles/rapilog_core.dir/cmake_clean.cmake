@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapilog_core.dir/rapilog_device.cc.o"
+  "CMakeFiles/rapilog_core.dir/rapilog_device.cc.o.d"
+  "librapilog_core.a"
+  "librapilog_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapilog_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapilog_sim.dir/check.cc.o"
+  "CMakeFiles/rapilog_sim.dir/check.cc.o.d"
+  "CMakeFiles/rapilog_sim.dir/crc32.cc.o"
+  "CMakeFiles/rapilog_sim.dir/crc32.cc.o.d"
+  "CMakeFiles/rapilog_sim.dir/rng.cc.o"
+  "CMakeFiles/rapilog_sim.dir/rng.cc.o.d"
+  "CMakeFiles/rapilog_sim.dir/simulator.cc.o"
+  "CMakeFiles/rapilog_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/rapilog_sim.dir/stats.cc.o"
+  "CMakeFiles/rapilog_sim.dir/stats.cc.o.d"
+  "CMakeFiles/rapilog_sim.dir/time.cc.o"
+  "CMakeFiles/rapilog_sim.dir/time.cc.o.d"
+  "librapilog_sim.a"
+  "librapilog_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapilog_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librapilog_sim.a"
+)

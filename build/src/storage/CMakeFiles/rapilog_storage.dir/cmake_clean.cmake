@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapilog_storage.dir/block.cc.o"
+  "CMakeFiles/rapilog_storage.dir/block.cc.o.d"
+  "CMakeFiles/rapilog_storage.dir/block_device.cc.o"
+  "CMakeFiles/rapilog_storage.dir/block_device.cc.o.d"
+  "CMakeFiles/rapilog_storage.dir/disk_image.cc.o"
+  "CMakeFiles/rapilog_storage.dir/disk_image.cc.o.d"
+  "CMakeFiles/rapilog_storage.dir/disk_model.cc.o"
+  "CMakeFiles/rapilog_storage.dir/disk_model.cc.o.d"
+  "librapilog_storage.a"
+  "librapilog_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapilog_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

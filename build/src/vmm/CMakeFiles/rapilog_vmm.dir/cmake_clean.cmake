@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapilog_vmm.dir/virtual_block_device.cc.o"
+  "CMakeFiles/rapilog_vmm.dir/virtual_block_device.cc.o.d"
+  "CMakeFiles/rapilog_vmm.dir/vm.cc.o"
+  "CMakeFiles/rapilog_vmm.dir/vm.cc.o.d"
+  "librapilog_vmm.a"
+  "librapilog_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapilog_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapilog_workload.dir/kv_workload.cc.o"
+  "CMakeFiles/rapilog_workload.dir/kv_workload.cc.o.d"
+  "CMakeFiles/rapilog_workload.dir/tpcc_lite.cc.o"
+  "CMakeFiles/rapilog_workload.dir/tpcc_lite.cc.o.d"
+  "librapilog_workload.a"
+  "librapilog_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapilog_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_lock_manager_test.dir/db_lock_manager_test.cc.o"
+  "CMakeFiles/db_lock_manager_test.dir/db_lock_manager_test.cc.o.d"
+  "db_lock_manager_test"
+  "db_lock_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_lock_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

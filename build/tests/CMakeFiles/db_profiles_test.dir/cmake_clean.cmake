@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_profiles_test.dir/db_profiles_test.cc.o"
+  "CMakeFiles/db_profiles_test.dir/db_profiles_test.cc.o.d"
+  "db_profiles_test"
+  "db_profiles_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_profiles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

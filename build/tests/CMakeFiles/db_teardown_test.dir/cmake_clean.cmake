@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_teardown_test.dir/db_teardown_test.cc.o"
+  "CMakeFiles/db_teardown_test.dir/db_teardown_test.cc.o.d"
+  "db_teardown_test"
+  "db_teardown_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_teardown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durability_checker_test.dir/durability_checker_test.cc.o"
+  "CMakeFiles/durability_checker_test.dir/durability_checker_test.cc.o.d"
+  "durability_checker_test"
+  "durability_checker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durability_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

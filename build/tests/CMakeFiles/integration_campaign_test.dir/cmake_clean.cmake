@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_campaign_test.dir/integration_campaign_test.cc.o"
+  "CMakeFiles/integration_campaign_test.dir/integration_campaign_test.cc.o.d"
+  "integration_campaign_test"
+  "integration_campaign_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_campaign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_testbed_test.dir/integration_testbed_test.cc.o"
+  "CMakeFiles/integration_testbed_test.dir/integration_testbed_test.cc.o.d"
+  "integration_testbed_test"
+  "integration_testbed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_testbed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microkernel_fuzz_test.dir/microkernel_fuzz_test.cc.o"
+  "CMakeFiles/microkernel_fuzz_test.dir/microkernel_fuzz_test.cc.o.d"
+  "microkernel_fuzz_test"
+  "microkernel_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microkernel_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

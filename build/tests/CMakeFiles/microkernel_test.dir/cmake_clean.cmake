@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microkernel_test.dir/microkernel_test.cc.o"
+  "CMakeFiles/microkernel_test.dir/microkernel_test.cc.o.d"
+  "microkernel_test"
+  "microkernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microkernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

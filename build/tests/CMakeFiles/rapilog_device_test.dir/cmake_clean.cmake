@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapilog_device_test.dir/rapilog_device_test.cc.o"
+  "CMakeFiles/rapilog_device_test.dir/rapilog_device_test.cc.o.d"
+  "rapilog_device_test"
+  "rapilog_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapilog_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_disk_image_test.dir/storage_disk_image_test.cc.o"
+  "CMakeFiles/storage_disk_image_test.dir/storage_disk_image_test.cc.o.d"
+  "storage_disk_image_test"
+  "storage_disk_image_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_disk_image_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_emergency_test.dir/storage_emergency_test.cc.o"
+  "CMakeFiles/storage_emergency_test.dir/storage_emergency_test.cc.o.d"
+  "storage_emergency_test"
+  "storage_emergency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_emergency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

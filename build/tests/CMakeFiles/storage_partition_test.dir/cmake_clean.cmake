@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_partition_test.dir/storage_partition_test.cc.o"
+  "CMakeFiles/storage_partition_test.dir/storage_partition_test.cc.o.d"
+  "storage_partition_test"
+  "storage_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/workload_test.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/rapilog_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/rapilog_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/rapilog_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/rapilog_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapilog/CMakeFiles/rapilog_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/rapilog_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/rapilog_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/microkernel/CMakeFiles/rapilog_microkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rapilog_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rapilog_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
