@@ -1,8 +1,12 @@
 #include "src/faults/durability_checker.h"
 
+#include <array>
 #include <cstdio>
+#include <map>
 
 #include "src/sim/check.h"
+#include "src/sim/crc32.h"
+#include "src/storage/disk_image.h"
 
 namespace rlfault {
 
@@ -110,6 +114,74 @@ Task<VerifyResult> DurabilityChecker::VerifyAfterRecovery(
     }
   }
   co_return result;
+}
+
+std::string ReplicaAudit::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "sectors expected=%llu ok=%llu missing=%llu mismatched=%llu "
+                "-> %s",
+                static_cast<unsigned long long>(sectors_expected),
+                static_cast<unsigned long long>(sectors_ok),
+                static_cast<unsigned long long>(sectors_missing),
+                static_cast<unsigned long long>(sectors_mismatched),
+                ok() ? "OK" : "REPLICA DURABILITY VIOLATED");
+  return buf;
+}
+
+ReplicaAudit AuditReplicaDurability(const rlrep::LogShipper& shipper,
+                                    const rlrep::ReplicaNode& replica) {
+  // Replay the shipped history in sequence order to build each sector's
+  // version list (WAL tail rewrites ship the same LBA at several sequence
+  // numbers). A sector is audited if any version of it was quorum-acked.
+  const uint64_t cursor = shipper.audit_quorum_cursor();
+  // sector -> (seq, CRC-32C) in ascending seq order.
+  std::map<uint64_t, std::vector<std::pair<uint64_t, uint32_t>>> versions;
+  for (const rlrep::ShippedBlockMeta& block : shipper.shipped_blocks()) {
+    for (size_t i = 0; i < block.sector_crcs.size(); ++i) {
+      versions[block.lba + i].emplace_back(block.seq, block.sector_crcs[i]);
+    }
+  }
+
+  ReplicaAudit audit;
+  const rlstor::DiskImage& image = replica.disk().image();
+  std::array<uint8_t, rlstor::kSectorSize> buf;
+  for (const auto& [sector, history] : versions) {
+    // Newest quorum-acked version of this sector, if any.
+    size_t acked = history.size();
+    for (size_t i = 0; i < history.size(); ++i) {
+      if (history[i].first < cursor) {
+        acked = i;
+      }
+    }
+    if (acked == history.size()) {
+      continue;  // nothing acked for this sector; nothing is owed
+    }
+    ++audit.sectors_expected;
+    if (image.state(sector) != rlstor::SectorState::kDurable) {
+      ++audit.sectors_missing;
+      continue;
+    }
+    // The replica must hold the newest acked version — or a NEWER shipped
+    // one: frames in flight at the power cut may land afterwards, and a
+    // later version of a WAL block only appends records to it, so it still
+    // contains everything that was acked.
+    image.ReadDurable(sector, buf);
+    const uint32_t got = rlsim::Crc32c(buf);
+    bool matched = false;
+    for (size_t i = acked; i < history.size(); ++i) {
+      if (history[i].second == got) {
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      ++audit.sectors_ok;
+    } else {
+      ++audit.sectors_mismatched;
+    }
+  }
+  return audit;
 }
 
 }  // namespace rlfault

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "src/db/database.h"
+#include "src/replica/log_shipper.h"
+#include "src/replica/replica_node.h"
 #include "src/sim/task.h"
 
 namespace rlfault {
@@ -60,5 +62,33 @@ class DurabilityChecker {
   std::map<uint64_t, std::optional<std::vector<uint8_t>>> committed_;
   std::unordered_map<uint64_t, std::vector<TrackedWrite>> pending_;
 };
+
+// --- Replicated-durability oracle (src/replica) ------------------------------
+
+// Block-level verdict on one replica: does its disk image durably hold,
+// bit-for-bit, every log block the primary quorum-acknowledged before it
+// died? (The shipper's append-only audit log supplies per-sector CRCs of
+// everything shipped; the quorum cursor is frozen at the instant of the
+// primary's power loss.)
+struct ReplicaAudit {
+  uint64_t sectors_expected = 0;
+  uint64_t sectors_ok = 0;
+  uint64_t sectors_missing = 0;     // not durable on the replica's medium
+  uint64_t sectors_mismatched = 0;  // durable but wrong contents
+
+  bool ok() const { return sectors_missing == 0 && sectors_mismatched == 0; }
+  std::string Summary() const;
+};
+
+// Verifies `replica` against the quorum-acknowledged shipped prefix. A
+// majority of replicas must individually pass for the quorum-ack guarantee
+// to hold; any single passing replica suffices to restore the log.
+//
+// Newest-version semantics: when the same sector was shipped more than once
+// (WAL tail rewrites), the replica must hold the newest quorum-acked version
+// — or a newer shipped one, since frames in flight at the cut may still land
+// and a later version of a WAL block only appends to the acked records.
+ReplicaAudit AuditReplicaDurability(const rlrep::LogShipper& shipper,
+                                    const rlrep::ReplicaNode& replica);
 
 }  // namespace rlfault

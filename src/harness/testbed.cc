@@ -1,8 +1,11 @@
 #include "src/harness/testbed.h"
 
+#include <array>
+#include <string>
 #include <utility>
 
 #include "src/sim/check.h"
+#include "src/storage/disk_image.h"
 
 namespace rlharness {
 
@@ -75,6 +78,19 @@ class Testbed::GuestPowerSink : public rlpow::PowerSink {
   // Without the guard (ablation) nothing reacts to the warning and the
   // guest runs until the rails drop.
   bool crash_on_warning_;
+};
+
+// The shipper rides the primary's rails: its window and cursors are volatile
+// primary memory. (The replicas and the fabric are other failure domains and
+// are deliberately NOT wired to this PSU.)
+class Testbed::ShipperPowerSink : public rlpow::PowerSink {
+ public:
+  explicit ShipperPowerSink(rlrep::LogShipper& shipper) : shipper_(shipper) {}
+  void OnPowerDown() override { shipper_.PowerLoss(); }
+  void OnPowerRestore() override { shipper_.PowerRestore(); }
+
+ private:
+  rlrep::LogShipper& shipper_;
 };
 
 Testbed::Testbed(rlsim::Simulator& sim, TestbedOptions options)
@@ -166,10 +182,52 @@ void Testbed::BuildDevices() {
         sim_, *psu_, *log_physical, options_.rapilog);
   }
 
+  log_sector_count_ = kLogSectors;
+  if (options_.replication.enabled) {
+    BuildReplication(rapilog_ != nullptr
+                         ? static_cast<rlstor::BlockDevice&>(*rapilog_)
+                         : *log_physical);
+  }
+
   power_sinks_.push_back(std::make_unique<DiskPowerSink>(*data_disk_));
   if (separate_log_disk_ != nullptr) {
     power_sinks_.push_back(std::make_unique<DiskPowerSink>(*separate_log_disk_));
   }
+}
+
+void Testbed::BuildReplication(rlstor::BlockDevice& local_log) {
+  const ReplicationOptions& rep = options_.replication;
+  RL_CHECK_MSG(rep.replicas >= 1, "replication needs >= 1 replica");
+  RL_CHECK_MSG(rep.replica.sector_count >= log_sector_count_,
+               "replica disks must cover the primary log's sector range");
+
+  fabric_ = std::make_unique<rlnet::NetworkFabric>(sim_);
+  std::vector<std::string> names;
+  names.reserve(rep.replicas);
+  for (size_t r = 0; r < rep.replicas; ++r) {
+    names.push_back("replica-" + std::to_string(r));
+    replicas_.push_back(std::make_unique<rlrep::ReplicaNode>(
+        sim_, *fabric_, names.back(), "primary", rep.replica));
+  }
+  shipper_ = std::make_unique<rlrep::LogShipper>(
+      sim_, *fabric_, "primary", names, local_log, rep.shipper);
+  for (const std::string& name : names) {
+    fabric_->Connect("primary", name, rep.link);
+  }
+  power_sinks_.push_back(std::make_unique<ShipperPowerSink>(*shipper_));
+}
+
+rlstor::BlockDevice& Testbed::LogTarget() {
+  if (shipper_ != nullptr) {
+    return *shipper_;
+  }
+  if (rapilog_ != nullptr) {
+    return *rapilog_;
+  }
+  if (separate_log_disk_ != nullptr) {
+    return *separate_log_disk_;
+  }
+  return *log_partition_;
 }
 
 void Testbed::BuildGuestStack() {
@@ -186,12 +244,7 @@ void Testbed::BuildGuestStack() {
   const SlotAddr data_ep{root_cnode_, 1};
   const SlotAddr log_ep{root_cnode_, 2};
 
-  rlstor::BlockDevice* log_target =
-      rapilog_ != nullptr
-          ? static_cast<rlstor::BlockDevice*>(rapilog_.get())
-          : (separate_log_disk_ != nullptr
-                 ? static_cast<rlstor::BlockDevice*>(separate_log_disk_.get())
-                 : static_cast<rlstor::BlockDevice*>(log_partition_.get()));
+  rlstor::BlockDevice* log_target = &LogTarget();
 
   data_backend_ = std::make_unique<rlvmm::BlockBackend>(
       sim_, *kernel_, data_ep, *data_partition_, "data-backend");
@@ -217,9 +270,7 @@ Task<void> Testbed::OpenDatabase() {
   rlstor::BlockDevice* log_dev;
   if (options_.mode == DeploymentMode::kNative) {
     data_dev = data_partition_.get();
-    log_dev = separate_log_disk_ != nullptr
-                  ? static_cast<rlstor::BlockDevice*>(separate_log_disk_.get())
-                  : static_cast<rlstor::BlockDevice*>(log_partition_.get());
+    log_dev = &LogTarget();
   } else {
     data_dev = guest_data_dev_.get();
     log_dev = guest_log_dev_.get();
@@ -245,6 +296,70 @@ Task<void> Testbed::RestorePowerAndRecover() {
     vm_->Reset();
   }
   co_await OpenDatabase();
+}
+
+Task<void> Testbed::RestorePowerAndRecoverFromReplica() {
+  RL_CHECK_MSG(shipper_ != nullptr,
+               "replica restore needs replication enabled");
+  co_await sim_.Sleep(rlsim::Duration::Millis(300));
+  if (db_ != nullptr) {
+    co_await db_->Close();
+    db_.reset();
+  }
+  psu_->RestoreMains();
+
+  // Pick the most advanced replica (in a real failover: highest-cursor
+  // survivor) and splice its log image onto the primary's physical log disk,
+  // replacing whatever the dead primary held there.
+  size_t best = 0;
+  for (size_t r = 1; r < replicas_.size(); ++r) {
+    if (replicas_[r]->cursor() > replicas_[best]->cursor()) {
+      best = r;
+    }
+  }
+  const rlstor::DiskImage& src = replicas_[best]->disk().image();
+  rlstor::DiskImage& dst = log_disk_physical().image();
+  // In every DiskSetup the log occupies physical sectors [0, log sectors):
+  // either a dedicated device or the first partition of the shared spindle.
+  // A restore wipes that range first — the replacement log must not be
+  // contaminated by the dead primary's locally-durable-but-unreplicated tail.
+  std::array<uint8_t, rlstor::kSectorSize> buf{};
+  for (const uint64_t sector : dst.DurableSectorList()) {
+    if (sector < log_sector_count_) {
+      dst.WriteDurable(sector, buf);
+    }
+  }
+  for (const uint64_t sector : src.DurableSectorList()) {
+    RL_CHECK(sector < log_sector_count_);
+    src.ReadDurable(sector, buf);
+    dst.WriteDurable(sector, buf);
+  }
+
+  if (vm_ != nullptr && !vm_->running()) {
+    vm_->Reset();
+  }
+  co_await OpenDatabase();
+}
+
+void Testbed::PartitionReplica(size_t r) {
+  RL_CHECK(fabric_ != nullptr);
+  fabric_->SetLinkUp("primary", replicas_.at(r)->name(), false);
+}
+
+void Testbed::HealReplica(size_t r) {
+  RL_CHECK(fabric_ != nullptr);
+  fabric_->SetLinkUp("primary", replicas_.at(r)->name(), true);
+}
+
+void Testbed::RegisterReplicationStats(rlsim::StatsRegistry& registry) const {
+  if (fabric_ == nullptr) {
+    return;
+  }
+  fabric_->RegisterStats(registry, "net.");
+  shipper_->RegisterStats(registry, "ship.");
+  for (const auto& replica : replicas_) {
+    replica->RegisterStats(registry, replica->name() + ".");
+  }
 }
 
 void Testbed::CrashGuest() {

@@ -17,9 +17,13 @@
 #include <vector>
 
 #include "src/db/database.h"
+#include "src/net/network_fabric.h"
 #include "src/power/power.h"
 #include "src/rapilog/rapilog_device.h"
+#include "src/replica/log_shipper.h"
+#include "src/replica/replica_node.h"
 #include "src/sim/simulator.h"
+#include "src/sim/stats.h"
 #include "src/storage/block_device.h"
 #include "src/storage/partition.h"
 #include "src/vmm/virtual_block_device.h"
@@ -38,6 +42,18 @@ enum class DiskSetup {
 std::string ToString(DeploymentMode m);
 std::string ToString(DiskSetup d);
 
+// Replicated topology: a LogShipper interposed on the primary's log path,
+// streaming to `replicas` ReplicaNodes ("replica-0"...) over a NetworkFabric.
+// The replicas are separate failure domains (their disks do not ride the
+// primary's PSU).
+struct ReplicationOptions {
+  bool enabled = false;
+  size_t replicas = 2;
+  rlnet::LinkParams link;          // primary <-> each replica
+  rlrep::ShipperOptions shipper;
+  rlrep::ReplicaOptions replica;
+};
+
 struct TestbedOptions {
   DeploymentMode mode = DeploymentMode::kRapiLog;
   DiskSetup disks = DiskSetup::kSharedHdd;
@@ -45,6 +61,7 @@ struct TestbedOptions {
   rlpow::PsuParams psu;
   rapilog::RapiLogOptions rapilog;
   rlvmm::VmParams vm;
+  ReplicationOptions replication;
 };
 
 class Testbed {
@@ -67,6 +84,16 @@ class Testbed {
   // Mains return; devices power up; the database recovers from disk.
   rlsim::Task<void> RestorePowerAndRecover();
 
+  // Mains return, but the primary's log disk is treated as lost with the
+  // machine: before recovery, its image is replaced by the most advanced
+  // replica's log image (the disk-to-disk restore a failover would do). The
+  // database then recovers from the replicated log. Requires replication.
+  rlsim::Task<void> RestorePowerAndRecoverFromReplica();
+
+  // Partitions (heals) the link between the primary and replica `r`.
+  void PartitionReplica(size_t r);
+  void HealReplica(size_t r);
+
   // Kills the guest OS/DBMS only (trusted layer and devices unaffected).
   void CrashGuest();
 
@@ -83,15 +110,30 @@ class Testbed {
   rlstor::SimBlockDevice& log_disk_physical() {
     return separate_log_disk_ ? *separate_log_disk_ : *data_disk_;
   }
+  rlrep::LogShipper* shipper() { return shipper_.get(); }
+  const rlrep::LogShipper* shipper() const { return shipper_.get(); }
+  rlrep::ReplicaNode& replica(size_t r) { return *replicas_.at(r); }
+  size_t replica_count() const { return replicas_.size(); }
+  rlnet::NetworkFabric* fabric() { return fabric_.get(); }
+
+  // Registers fabric/shipper/replica stats under "net." / "ship." /
+  // "replica-N." for uniform bench reporting. No-op without replication.
+  void RegisterReplicationStats(rlsim::StatsRegistry& registry) const;
+
   const TestbedOptions& options() const { return options_; }
 
  private:
   class DiskPowerSink;
   class GuestPowerSink;
+  class ShipperPowerSink;
 
   rlsim::Task<void> OpenDatabase();
   void BuildDevices();
+  void BuildReplication(rlstor::BlockDevice& local_log);
   void BuildGuestStack();
+  // The DBMS-facing log device: shipper if replicated, else RapiLog, else
+  // the raw log disk/partition.
+  rlstor::BlockDevice& LogTarget();
 
   rlsim::Simulator& sim_;
   TestbedOptions options_;
@@ -103,6 +145,12 @@ class Testbed {
   std::unique_ptr<rlstor::SimBlockDevice> separate_log_disk_;
   std::unique_ptr<rlstor::PartitionDevice> data_partition_;
   std::unique_ptr<rlstor::PartitionDevice> log_partition_;
+
+  // Replication (optional).
+  std::unique_ptr<rlnet::NetworkFabric> fabric_;
+  std::vector<std::unique_ptr<rlrep::ReplicaNode>> replicas_;
+  std::unique_ptr<rlrep::LogShipper> shipper_;
+  uint64_t log_sector_count_ = 0;  // log LBA range on the physical disk
 
   // Trusted layer.
   std::unique_ptr<rapilog::RapiLogDevice> rapilog_;

@@ -1,0 +1,155 @@
+#include "src/net/network_fabric.h"
+
+#include <algorithm>
+
+#include "src/sim/check.h"
+
+namespace rlnet {
+
+using rlsim::Duration;
+using rlsim::Task;
+using rlsim::TimePoint;
+
+Task<Message> Endpoint::Receive() {
+  while (inbox_.empty()) {
+    co_await arrived_.Wait();
+  }
+  Message m = std::move(inbox_.front());
+  inbox_.pop_front();
+  co_return m;
+}
+
+bool Endpoint::TryReceive(Message* out) {
+  if (inbox_.empty()) {
+    return false;
+  }
+  *out = std::move(inbox_.front());
+  inbox_.pop_front();
+  return true;
+}
+
+void Endpoint::Deliver(Message message) {
+  inbox_.push_back(std::move(message));
+  arrived_.NotifyAll();
+}
+
+Endpoint& NetworkFabric::CreateEndpoint(const std::string& name) {
+  RL_CHECK_MSG(!endpoints_.contains(name), "duplicate endpoint " << name);
+  auto ep = std::unique_ptr<Endpoint>(new Endpoint(sim_, name));
+  Endpoint& ref = *ep;
+  endpoints_.emplace(name, std::move(ep));
+  return ref;
+}
+
+Endpoint* NetworkFabric::endpoint(const std::string& name) {
+  const auto it = endpoints_.find(name);
+  return it == endpoints_.end() ? nullptr : it->second.get();
+}
+
+void NetworkFabric::Connect(const std::string& a, const std::string& b,
+                            LinkParams params) {
+  RL_CHECK_MSG(endpoints_.contains(a), "Connect: unknown endpoint " << a);
+  RL_CHECK_MSG(endpoints_.contains(b), "Connect: unknown endpoint " << b);
+  RL_CHECK_MSG(a != b, "Connect: self-link at " << a);
+  RL_CHECK(params.bandwidth_mbps > 0);
+  RL_CHECK(params.drop_probability >= 0 && params.drop_probability < 1.0);
+  for (const auto& [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
+    const auto key = std::pair{from, to};
+    RL_CHECK_MSG(!links_.contains(key),
+                 "link " << from << "->" << to << " already exists");
+    links_.emplace(key, Link{.params = params,
+                             .rng = sim_.rng().Fork(),
+                             .up = true,
+                             .busy_until = sim_.now(),
+                             .last_arrival = sim_.now()});
+  }
+}
+
+NetworkFabric::Link* NetworkFabric::FindLink(const std::string& from,
+                                             const std::string& to) {
+  const auto it = links_.find(std::pair{from, to});
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+const NetworkFabric::Link* NetworkFabric::FindLink(
+    const std::string& from, const std::string& to) const {
+  const auto it = links_.find(std::pair{from, to});
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+bool NetworkFabric::Send(const std::string& from, const std::string& to,
+                         std::vector<uint8_t> payload) {
+  Link* link = FindLink(from, to);
+  RL_CHECK_MSG(link != nullptr, "Send on unknown link " << from << "->" << to);
+  Endpoint* dest = endpoint(to);
+  RL_CHECK(dest != nullptr);
+
+  stats_.messages_sent.Add();
+  stats_.bytes_sent.Add(static_cast<int64_t>(payload.size()));
+
+  if (!link->up) {
+    stats_.messages_blackholed.Add();
+    return false;
+  }
+  if (link->params.drop_probability > 0 &&
+      link->rng.Chance(link->params.drop_probability)) {
+    stats_.messages_dropped.Add();
+    return false;
+  }
+
+  const TimePoint now = sim_.now();
+  const TimePoint departure = std::max(now, link->busy_until);
+  const double tx_seconds = static_cast<double>(payload.size()) /
+                            (link->params.bandwidth_mbps * 1e6);
+  link->busy_until = departure + Duration::SecondsF(tx_seconds);
+  TimePoint arrival = link->busy_until + link->params.base_latency;
+  if (link->params.jitter > Duration::Zero()) {
+    arrival += link->params.jitter * link->rng.NextDouble();
+  }
+  // In-order guarantee: jitter never reorders a link.
+  arrival = std::max(arrival, link->last_arrival);
+  link->last_arrival = arrival;
+
+  Message message{.from = from,
+                  .to = to,
+                  .payload = std::move(payload),
+                  .sent_at = now};
+  sim_.ScheduleAt(arrival, [this, dest, m = std::move(message)]() mutable {
+    stats_.messages_delivered.Add();
+    stats_.delivery_latency.RecordDuration(sim_.now() - m.sent_at);
+    dest->Deliver(std::move(m));
+  });
+  return true;
+}
+
+void NetworkFabric::SetLinkUp(const std::string& a, const std::string& b,
+                              bool up) {
+  Link* ab = FindLink(a, b);
+  Link* ba = FindLink(b, a);
+  RL_CHECK_MSG(ab != nullptr && ba != nullptr,
+               "SetLinkUp on unknown link " << a << "<->" << b);
+  ab->up = up;
+  ba->up = up;
+}
+
+bool NetworkFabric::link_up(const std::string& a, const std::string& b) const {
+  const Link* link = FindLink(a, b);
+  RL_CHECK_MSG(link != nullptr, "link_up on unknown link " << a << "->" << b);
+  return link->up;
+}
+
+void NetworkFabric::RegisterStats(rlsim::StatsRegistry& registry,
+                                  const std::string& prefix) const {
+  registry.RegisterCounter(prefix + "messages_sent", &stats_.messages_sent);
+  registry.RegisterCounter(prefix + "messages_delivered",
+                           &stats_.messages_delivered);
+  registry.RegisterCounter(prefix + "messages_dropped",
+                           &stats_.messages_dropped);
+  registry.RegisterCounter(prefix + "messages_blackholed",
+                           &stats_.messages_blackholed);
+  registry.RegisterCounter(prefix + "bytes_sent", &stats_.bytes_sent);
+  registry.RegisterHistogram(prefix + "delivery_latency",
+                             &stats_.delivery_latency, /*as_duration=*/true);
+}
+
+}  // namespace rlnet

@@ -1,0 +1,150 @@
+// Deterministic network model for the discrete-event simulator.
+//
+// A NetworkFabric connects named endpoints with point-to-point links. Each
+// link direction has its own latency/bandwidth/jitter parameters and its own
+// RNG stream (forked from the simulator's root RNG at Connect time), so runs
+// are bit-for-bit reproducible from a single seed and adding traffic on one
+// link never perturbs another's randomness.
+//
+// Delivery is via simulator events: Send() computes
+//   departure  = max(now, link busy-until)          (serialisation queueing)
+//   tx time    = bytes / bandwidth
+//   arrival    = departure + tx + base latency + jitter
+// and clamps arrival to never precede the link's previous arrival, so a link
+// is strictly in-order (TCP-like) even with jitter. Messages are dropped with
+// a configurable per-link probability (lossy fabric) and unconditionally
+// while the link is down — SetLinkUp is the hook `src/faults` and the harness
+// use to inject and heal network partitions.
+//
+// The fabric models the wire, not a protocol: no acks, no retransmission, no
+// corruption (dropped frames simply vanish). Reliability is the sender's
+// problem (see src/replica/log_shipper.h).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/rng.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace rlnet {
+
+struct LinkParams {
+  // One-way propagation delay.
+  rlsim::Duration base_latency = rlsim::Duration::Micros(100);
+  // Serialisation rate; a message occupies the link for bytes/bandwidth.
+  double bandwidth_mbps = 1000.0;
+  // Extra per-message delay, uniform in [0, jitter).
+  rlsim::Duration jitter = rlsim::Duration::Zero();
+  // Probability a message silently vanishes (checked while the link is up).
+  double drop_probability = 0.0;
+};
+
+struct Message {
+  std::string from;
+  std::string to;
+  std::vector<uint8_t> payload;
+  rlsim::TimePoint sent_at;
+};
+
+// A named receiver. Created and owned by the fabric; holds the inbound queue.
+class Endpoint {
+ public:
+  const std::string& name() const { return name_; }
+
+  // Next message, waiting if none is pending. FIFO across all inbound links
+  // (arrival order; ties resolved by the simulator's deterministic event
+  // order).
+  rlsim::Task<Message> Receive();
+
+  // Non-blocking variant; returns false if the inbox is empty.
+  bool TryReceive(Message* out);
+
+  size_t pending() const { return inbox_.size(); }
+
+ private:
+  friend class NetworkFabric;
+  Endpoint(rlsim::Simulator& sim, std::string name)
+      : name_(std::move(name)), arrived_(sim) {}
+
+  void Deliver(Message message);
+
+  std::string name_;
+  std::deque<Message> inbox_;
+  rlsim::WaitQueue arrived_;
+};
+
+class NetworkFabric {
+ public:
+  struct Stats {
+    rlsim::Counter messages_sent;
+    rlsim::Counter messages_delivered;
+    rlsim::Counter messages_dropped;     // random loss on an up link
+    rlsim::Counter messages_blackholed;  // link down (partition)
+    rlsim::Counter bytes_sent;
+    rlsim::Histogram delivery_latency;  // ns, send -> delivery
+  };
+
+  explicit NetworkFabric(rlsim::Simulator& sim) : sim_(sim) {}
+
+  NetworkFabric(const NetworkFabric&) = delete;
+  NetworkFabric& operator=(const NetworkFabric&) = delete;
+
+  // Name must be unique. The returned endpoint lives as long as the fabric.
+  Endpoint& CreateEndpoint(const std::string& name);
+  Endpoint* endpoint(const std::string& name);
+
+  // Creates the pair of directed links a->b and b->a with the same
+  // parameters (each direction still has independent state and RNG).
+  void Connect(const std::string& a, const std::string& b, LinkParams params);
+
+  // Enqueues a message for delivery. Returns true if a delivery event was
+  // scheduled, false if the message was dropped (lossy link or link down).
+  // Either way the caller must not rely on the outcome for correctness —
+  // that is what end-to-end acks are for.
+  bool Send(const std::string& from, const std::string& to,
+            std::vector<uint8_t> payload);
+
+  // Partition control: takes both directions between a and b up or down.
+  // Messages already in flight still arrive (they are on the wire); new
+  // sends are blackholed until the link comes back up.
+  void SetLinkUp(const std::string& a, const std::string& b, bool up);
+  bool link_up(const std::string& a, const std::string& b) const;
+
+  const Stats& stats() const { return stats_; }
+
+  // Registers this fabric's stats under `prefix` (e.g. "net.") for uniform
+  // bench reporting.
+  void RegisterStats(rlsim::StatsRegistry& registry,
+                     const std::string& prefix) const;
+
+ private:
+  struct Link {
+    LinkParams params;
+    rlsim::Rng rng;
+    bool up = true;
+    rlsim::TimePoint busy_until;    // end of the last serialisation
+    rlsim::TimePoint last_arrival;  // in-order floor for the next arrival
+  };
+
+  Link* FindLink(const std::string& from, const std::string& to);
+  const Link* FindLink(const std::string& from, const std::string& to) const;
+
+  rlsim::Simulator& sim_;
+  // Ordered maps: iteration (and thus any derived behaviour) is independent
+  // of insertion order and hashing, keeping runs reproducible.
+  std::map<std::string, std::unique_ptr<Endpoint>> endpoints_;
+  std::map<std::pair<std::string, std::string>, Link> links_;
+  Stats stats_;
+};
+
+}  // namespace rlnet

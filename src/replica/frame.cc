@@ -1,0 +1,100 @@
+#include "src/replica/frame.h"
+
+#include <cstring>
+
+#include "src/sim/crc32.h"
+
+namespace rlrep {
+
+namespace {
+
+template <typename T>
+void Store(std::vector<uint8_t>& buf, size_t offset, T value) {
+  std::memcpy(buf.data() + offset, &value, sizeof(T));
+}
+
+template <typename T>
+T Load(std::span<const uint8_t> buf, size_t offset) {
+  T value;
+  std::memcpy(&value, buf.data() + offset, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+std::optional<FrameType> PeekFrameType(std::span<const uint8_t> buffer) {
+  if (buffer.empty()) {
+    return std::nullopt;
+  }
+  const uint8_t t = buffer[0];
+  if (t < static_cast<uint8_t>(FrameType::kShip) ||
+      t > static_cast<uint8_t>(FrameType::kReset)) {
+    return std::nullopt;
+  }
+  return static_cast<FrameType>(t);
+}
+
+std::vector<uint8_t> EncodeShip(uint64_t seq, uint64_t lba,
+                                std::span<const uint8_t> payload) {
+  std::vector<uint8_t> buf(kShipHeaderBytes + payload.size());
+  buf[0] = static_cast<uint8_t>(FrameType::kShip);
+  Store<uint64_t>(buf, 1, seq);
+  Store<uint64_t>(buf, 9, lba);
+  Store<uint32_t>(buf, 17, static_cast<uint32_t>(payload.size()));
+  Store<uint32_t>(buf, 21, rlsim::Crc32c(payload));
+  std::memcpy(buf.data() + kShipHeaderBytes, payload.data(), payload.size());
+  return buf;
+}
+
+std::vector<uint8_t> EncodeAck(uint64_t cursor) {
+  std::vector<uint8_t> buf(1 + 8);
+  buf[0] = static_cast<uint8_t>(FrameType::kAck);
+  Store<uint64_t>(buf, 1, cursor);
+  return buf;
+}
+
+std::vector<uint8_t> EncodeReset(uint64_t next_seq) {
+  std::vector<uint8_t> buf(1 + 8);
+  buf[0] = static_cast<uint8_t>(FrameType::kReset);
+  Store<uint64_t>(buf, 1, next_seq);
+  return buf;
+}
+
+std::optional<ShipFrame> DecodeShip(std::span<const uint8_t> buffer) {
+  if (buffer.size() < kShipHeaderBytes ||
+      buffer[0] != static_cast<uint8_t>(FrameType::kShip)) {
+    return std::nullopt;
+  }
+  ShipFrame frame;
+  frame.seq = Load<uint64_t>(buffer, 1);
+  frame.lba = Load<uint64_t>(buffer, 9);
+  const uint32_t len = Load<uint32_t>(buffer, 17);
+  frame.crc = Load<uint32_t>(buffer, 21);
+  if (buffer.size() != kShipHeaderBytes + len) {
+    return std::nullopt;
+  }
+  const auto payload = buffer.subspan(kShipHeaderBytes);
+  if (rlsim::Crc32c(payload) != frame.crc) {
+    return std::nullopt;
+  }
+  frame.payload.assign(payload.begin(), payload.end());
+  return frame;
+}
+
+std::optional<AckFrame> DecodeAck(std::span<const uint8_t> buffer) {
+  if (buffer.size() != 1 + 8 ||
+      buffer[0] != static_cast<uint8_t>(FrameType::kAck)) {
+    return std::nullopt;
+  }
+  return AckFrame{.cursor = Load<uint64_t>(buffer, 1)};
+}
+
+std::optional<ResetFrame> DecodeReset(std::span<const uint8_t> buffer) {
+  if (buffer.size() != 1 + 8 ||
+      buffer[0] != static_cast<uint8_t>(FrameType::kReset)) {
+    return std::nullopt;
+  }
+  return ResetFrame{.next_seq = Load<uint64_t>(buffer, 1)};
+}
+
+}  // namespace rlrep

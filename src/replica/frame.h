@@ -1,0 +1,64 @@
+// Wire format for log replication (src/replica).
+//
+// Three frame types travel between the primary's LogShipper and its
+// ReplicaNodes over the network fabric:
+//
+//   SHIP   primary -> replica   one sealed log block
+//          [u8 type][u64 seq][u64 lba][u32 payload_len][u32 crc][payload]
+//   ACK    replica -> primary   cumulative acknowledgement
+//          [u8 type][u64 cursor]        cursor = lowest seq not yet durable
+//   RESET  primary -> replica   epoch jump after a primary power cycle
+//          [u8 type][u64 next_seq]      replica fast-forwards its cursor
+//
+// SHIP payloads are CRC-32C framed; a replica never applies a block whose
+// checksum does not match (a corrupt or truncated frame is treated exactly
+// like a lost one — the shipper's retransmission recovers it). Sequence
+// numbers are assigned by the shipper in block-ship order and are dense, so
+// a cumulative cursor fully describes a replica's durable prefix.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace rlrep {
+
+enum class FrameType : uint8_t {
+  kShip = 1,
+  kAck = 2,
+  kReset = 3,
+};
+
+struct ShipFrame {
+  uint64_t seq = 0;
+  uint64_t lba = 0;
+  uint32_t crc = 0;
+  std::vector<uint8_t> payload;
+};
+
+struct AckFrame {
+  uint64_t cursor = 0;
+};
+
+struct ResetFrame {
+  uint64_t next_seq = 0;
+};
+
+inline constexpr size_t kShipHeaderBytes = 1 + 8 + 8 + 4 + 4;
+
+// Returns the type byte, or nullopt for an empty buffer.
+std::optional<FrameType> PeekFrameType(std::span<const uint8_t> buffer);
+
+std::vector<uint8_t> EncodeShip(uint64_t seq, uint64_t lba,
+                                std::span<const uint8_t> payload);
+std::vector<uint8_t> EncodeAck(uint64_t cursor);
+std::vector<uint8_t> EncodeReset(uint64_t next_seq);
+
+// Decoders return nullopt on malformed frames (wrong type byte, short
+// buffer, or — for SHIP — a payload CRC mismatch).
+std::optional<ShipFrame> DecodeShip(std::span<const uint8_t> buffer);
+std::optional<AckFrame> DecodeAck(std::span<const uint8_t> buffer);
+std::optional<ResetFrame> DecodeReset(std::span<const uint8_t> buffer);
+
+}  // namespace rlrep

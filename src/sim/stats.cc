@@ -137,6 +137,63 @@ std::string Histogram::Summary() const {
   return buf;
 }
 
+void StatsRegistry::RegisterCounter(const std::string& name,
+                                    const Counter* counter) {
+  RL_CHECK_MSG(counter != nullptr, "null counter registered as " << name);
+  RL_CHECK_MSG(!counters_.contains(name) && !histograms_.contains(name),
+               "duplicate stat name " << name);
+  counters_[name] = counter;
+}
+
+void StatsRegistry::RegisterHistogram(const std::string& name,
+                                      const Histogram* histogram,
+                                      bool as_duration) {
+  RL_CHECK_MSG(histogram != nullptr, "null histogram registered as " << name);
+  RL_CHECK_MSG(!counters_.contains(name) && !histograms_.contains(name),
+               "duplicate stat name " << name);
+  histograms_[name] = HistogramEntry{histogram, as_duration};
+}
+
+void StatsRegistry::UnregisterPrefix(const std::string& prefix) {
+  std::erase_if(counters_, [&](const auto& kv) {
+    return kv.first.starts_with(prefix);
+  });
+  std::erase_if(histograms_, [&](const auto& kv) {
+    return kv.first.starts_with(prefix);
+  });
+}
+
+std::string StatsRegistry::Format() const {
+  // std::map iteration is name-sorted, so output order is deterministic and
+  // independent of registration order. Counters and histograms interleave in
+  // one global name order.
+  std::string out;
+  auto c = counters_.begin();
+  auto h = histograms_.begin();
+  char line[256];
+  while (c != counters_.end() || h != histograms_.end()) {
+    const bool take_counter =
+        h == histograms_.end() ||
+        (c != counters_.end() && c->first < h->first);
+    if (take_counter) {
+      std::snprintf(line, sizeof(line), "%-40s %lld\n", c->first.c_str(),
+                    static_cast<long long>(c->second->value()));
+      out += line;
+      ++c;
+    } else {
+      std::snprintf(line, sizeof(line), "%-40s %s\n", h->first.c_str(),
+                    h->second.as_duration
+                        ? h->second.histogram->DurationSummary().c_str()
+                        : h->second.histogram->Summary().c_str());
+      out += line;
+      ++h;
+    }
+  }
+  return out;
+}
+
+void StatsRegistry::Print() const { std::fputs(Format().c_str(), stdout); }
+
 std::string Histogram::DurationSummary() const {
   char buf[200];
   std::snprintf(

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,37 @@ class Histogram {
   double sum_squares_ = 0;
   int64_t min_ = 0;
   int64_t max_ = 0;
+};
+
+// Uniform reporting surface: components register their named counters and
+// histograms once, and benches/harnesses print the whole set in one
+// deterministically-ordered (name-sorted) block instead of hand-rolling a
+// printf per stat. The registry does not own the registered objects; they
+// must outlive it (or be Unregistered by prefix first).
+class StatsRegistry {
+ public:
+  void RegisterCounter(const std::string& name, const Counter* counter);
+  // `as_duration` renders the histogram with Duration formatting (ns values).
+  void RegisterHistogram(const std::string& name, const Histogram* histogram,
+                         bool as_duration = false);
+  // Drops every entry whose name starts with `prefix` (component teardown).
+  void UnregisterPrefix(const std::string& prefix);
+
+  // "name value" / "name <histogram summary>" lines, sorted by name.
+  // Counters with value 0 and empty histograms are included: a zero is
+  // evidence (e.g. zero retransmits), not noise.
+  std::string Format() const;
+  void Print() const;  // Format() to stdout
+
+  size_t size() const { return counters_.size() + histograms_.size(); }
+
+ private:
+  struct HistogramEntry {
+    const Histogram* histogram;
+    bool as_duration;
+  };
+  std::map<std::string, const Counter*> counters_;
+  std::map<std::string, HistogramEntry> histograms_;
 };
 
 // Throughput helper: counts events over a window of simulated time.

@@ -109,4 +109,16 @@ bool DiskImage::IsDurable(uint64_t sector) const {
   return s == SectorState::kDurable || s == SectorState::kUnwritten;
 }
 
+std::vector<uint64_t> DiskImage::DurableSectorList() const {
+  std::vector<uint64_t> sectors;
+  sectors.reserve(durable_.size());
+  for (const auto& [sector, contents] : durable_) {
+    if (!torn_.contains(sector)) {
+      sectors.push_back(sector);
+    }
+  }
+  std::sort(sectors.begin(), sectors.end());
+  return sectors;
+}
+
 }  // namespace rlstor

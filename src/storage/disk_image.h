@@ -61,6 +61,10 @@ class DiskImage {
   // a power cut), ignoring the volatile cache.
   void ReadDurable(uint64_t sector, std::span<uint8_t> out) const;
 
+  // Every sector with durable medium contents, ascending (deterministic
+  // iteration over the sparse image — for disk-to-disk restore tooling).
+  std::vector<uint64_t> DurableSectorList() const;
+
  private:
   using Sector = std::array<uint8_t, kSectorSize>;
 

@@ -149,6 +149,92 @@ TEST(HistogramTest, SummaryNonEmpty) {
   EXPECT_NE(h.DurationSummary().find("n=1"), std::string::npos);
 }
 
+TEST(HistogramTest, RecordAfterResetReseedsExtremes) {
+  // Regression guard for testbed reuse across bench phases: a Reset must
+  // leave the histogram indistinguishable from a fresh one, including the
+  // min/max seeding path and the bucket array (a stale bucket would skew
+  // every percentile of the next phase).
+  Histogram h;
+  h.Record(3);
+  h.Record(1'000'000);
+  h.Reset();
+  h.Record(500);
+  h.Record(700);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.min(), 500);
+  EXPECT_EQ(h.max(), 700);
+  EXPECT_NEAR(h.Mean(), 600.0, 0.01);
+  // All mass is in [500, 700]: no percentile may see the pre-Reset values.
+  EXPECT_GE(h.Percentile(1), 500);
+  EXPECT_LE(h.Percentile(100), 700 + 700 / 8);
+}
+
+TEST(CounterTest, ResetAcrossPhases) {
+  Counter c;
+  c.Add(41);
+  c.Reset();
+  c.Add();
+  EXPECT_EQ(c.value(), 1);
+}
+
+TEST(StatsRegistryTest, FormatsSortedByName) {
+  Counter writes;
+  writes.Add(7);
+  Counter drops;  // zero stays visible: a zero is evidence, not noise
+  Histogram latency;
+  latency.Record(100);
+
+  StatsRegistry registry;
+  registry.RegisterCounter("net.writes", &writes);
+  registry.RegisterCounter("net.drops", &drops);
+  registry.RegisterHistogram("disk.latency", &latency);
+  EXPECT_EQ(registry.size(), 3u);
+
+  const std::string out = registry.Format();
+  const size_t disk_pos = out.find("disk.latency");
+  const size_t drops_pos = out.find("net.drops");
+  const size_t writes_pos = out.find("net.writes");
+  ASSERT_NE(disk_pos, std::string::npos);
+  ASSERT_NE(drops_pos, std::string::npos);
+  ASSERT_NE(writes_pos, std::string::npos);
+  EXPECT_LT(disk_pos, drops_pos);
+  EXPECT_LT(drops_pos, writes_pos);
+  EXPECT_NE(out.find("7"), std::string::npos);
+  EXPECT_NE(out.find("n=1"), std::string::npos);
+}
+
+TEST(StatsRegistryTest, LiveValuesNotSnapshots) {
+  // The registry holds pointers: Format() must reflect the stat's value at
+  // format time, not at registration time.
+  Counter c;
+  StatsRegistry registry;
+  registry.RegisterCounter("c", &c);
+  c.Add(5);
+  EXPECT_NE(registry.Format().find("5"), std::string::npos);
+}
+
+TEST(StatsRegistryTest, UnregisterPrefixDropsOnlyThatComponent) {
+  Counter a;
+  Counter b;
+  Histogram h;
+  StatsRegistry registry;
+  registry.RegisterCounter("ship.blocks", &a);
+  registry.RegisterHistogram("ship.lag", &h);
+  registry.RegisterCounter("net.sent", &b);
+  registry.UnregisterPrefix("ship.");
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.Format().find("ship."), std::string::npos);
+  EXPECT_NE(registry.Format().find("net.sent"), std::string::npos);
+}
+
+TEST(StatsRegistryTest, DuplicateNameRejected) {
+  Counter a;
+  Counter b;
+  StatsRegistry registry;
+  registry.RegisterCounter("x", &a);
+  EXPECT_THROW(registry.RegisterCounter("x", &b), CheckFailure);
+}
+
 TEST(RateMeterTest, PerSecond) {
   RateMeter m;
   m.Start(TimePoint::Origin());
