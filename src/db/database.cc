@@ -86,7 +86,9 @@ Database::Database(rlsim::Simulator& sim, CpuContext& cpu,
 
 Task<void> Database::ThrottleDirtyPages() {
   while (pool_->dirty_count() >= dirty_throttle_pages_) {
-    if (closing_) {
+    if (closing_ || wal_->halted()) {
+      // A halted WAL can never satisfy a checkpoint's Force(), so waiting
+      // here would respawn failing checkpoints in a zero-time loop.
       throw EngineHalted();
     }
     MaybeScheduleCheckpoint();
@@ -121,7 +123,20 @@ Task<std::unique_ptr<Database>> Database::Open(rlsim::Simulator& sim,
                                                DbOptions options) {
   std::unique_ptr<Database> db(
       new Database(sim, cpu, data_dev, log_dev, std::move(options)));
-  co_await db->Recover();
+  std::exception_ptr failure;
+  try {
+    co_await db->Recover();
+  } catch (...) {
+    failure = std::current_exception();
+  }
+  if (failure) {
+    // Recovery died under us (power cut or device fault mid-open). The WAL
+    // flusher task may still be parked inside a device request; destroying
+    // the engine before it unwinds would leave it resuming into freed
+    // memory. Signal shutdown and wait for it to exit, then propagate.
+    co_await db->wal_->Shutdown();
+    std::rethrow_exception(failure);
+  }
   co_return db;
 }
 
@@ -178,11 +193,19 @@ Task<bool> Database::ReplayJournalIfNewer(uint64_t meta_seq,
         LoadScalar<uint64_t>(header, kJournalIdsOff + i * 8ull);
     const uint64_t slot = 1 + i;
     const bool read_ok = co_await pool_->ReadPageDirect(slot, image);
-    RL_CHECK_MSG(read_ok && PageValid(image, page_id),
+    if (!read_ok) {
+      // Device died mid-recovery (power cut or disk fault during replay):
+      // machine death, not corruption. The journal is untouched, so the
+      // next recovery attempt replays it from the start.
+      throw EngineHalted();
+    }
+    RL_CHECK_MSG(PageValid(image, page_id),
                  "journal slot " << slot << " corrupt for page " << page_id);
     const bool write_ok =
         co_await pool_->WritePageDirect(page_id, image, /*fua=*/false);
-    RL_CHECK(write_ok);
+    if (!write_ok) {
+      throw EngineHalted();
+    }
     stats_.repaired_from_journal.Add();
   }
   co_await data_dev_.Flush();
@@ -423,7 +446,7 @@ Task<void> Database::Abort(uint64_t txn) {
 // --- Checkpoint ----------------------------------------------------------------
 
 void Database::MaybeScheduleCheckpoint() {
-  if (closing_ || checkpoint_pending_ ||
+  if (closing_ || wal_->halted() || checkpoint_pending_ ||
       pool_->dirty_count() < options_.profile.checkpoint_dirty_pages) {
     return;
   }

@@ -126,7 +126,7 @@ Task<void> LogWriter::WaitDurable(uint64_t lsn) {
   const TimePoint start = sim_.now();
   work_wake_.NotifyAll();
   while (durable_lsn_ < lsn) {
-    if (shutdown_) {
+    if (shutdown_ || halted_) {
       throw EngineHalted();
     }
     co_await durable_wake_.Wait();
@@ -138,7 +138,7 @@ Task<void> LogWriter::Force() {
   const uint64_t target = appended_lsn_;
   work_wake_.NotifyAll();
   while (durable_lsn_ < target) {
-    if (shutdown_) {
+    if (shutdown_ || halted_) {
       throw EngineHalted();
     }
     co_await durable_wake_.Wait();
@@ -205,8 +205,8 @@ Task<void> LogWriter::FlusherLoop() {
     const uint64_t sectors_per_block =
         profile_.log_block_bytes / kSectorSize;
     // The flusher must survive the machine dying under it (device failure,
-    // or a guest crash unwinding a paravirtual request): waiters then stay
-    // parked and the harness tears the engine down.
+    // or a guest crash unwinding a paravirtual request): the failure halts
+    // the writer instead of propagating.
     try {
       for (const SealedBlock& sb : batch) {
         const std::vector<uint8_t> img = RenderBlock(sb.index, sb.payload);
@@ -240,11 +240,15 @@ Task<void> LogWriter::FlusherLoop() {
                                       durable_before);
       durable_wake_.NotifyAll();
     } else {
-      // Device unavailable (power loss / guest death). Waiters stay blocked;
-      // the simulation harness tears the engine down.
-      if (!shutdown_) {
-        co_await work_wake_.Wait();
-      }
+      // Device unavailable (power loss, injected I/O fault, guest death).
+      // The batch moved out of sealed_ above is gone; retrying a later cycle
+      // would advance durable_lsn_ over blocks that were never written. The
+      // only safe outcome is a permanent halt: waiters unwind with
+      // EngineHalted and the harness reopens the database, whose recovery
+      // scan re-establishes the true durable prefix.
+      halted_ = true;
+      durable_wake_.NotifyAll();
+      break;
     }
   }
   flusher_exited_ = true;

@@ -88,6 +88,12 @@ class LogWriter {
 
   uint64_t next_lsn() const { return next_lsn_; }
   uint64_t durable_lsn() const { return durable_lsn_; }
+  // True once a flush cycle failed (device off, I/O error, guest death).
+  // The writer is then permanently dead: durability can never be promised
+  // again on this incarnation, because blocks dropped by the failed cycle
+  // would leave holes behind any later durable_lsn advance. Waiters unwind
+  // with EngineHalted; the harness recovers by reopening the database.
+  bool halted() const { return halted_; }
   // Block that would hold the next appended record (checkpoint replay start).
   uint64_t current_block_index() const { return tail_index_; }
 
@@ -120,6 +126,7 @@ class LogWriter {
 
   bool flush_in_progress_ = false;
   bool shutdown_ = false;
+  bool halted_ = false;
   bool flusher_exited_ = false;
   rlsim::WaitQueue work_wake_;
   rlsim::WaitQueue durable_wake_;

@@ -1,0 +1,97 @@
+// ChaosExplorer: randomized multi-fault schedules executed end-to-end on the
+// Testbed, checked against the durability/consistency oracles, with
+// delta-debugging shrinking of failing seeds down to minimal replayable
+// schedules (FoundationDB-style simulation testing for this repo).
+//
+// Each episode is a pure function of its EpisodeConfig: the config seeds the
+// simulator, the schedule is fixed up front, and the outcome (including its
+// hash) is bit-for-bit reproducible — which is what makes `--replay` and
+// shrinking trustworthy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/faults/chaos/schedule.h"
+
+namespace rlchaos {
+
+// Everything observable about one episode, deterministically derived from
+// the config. `violations` holds human-readable oracle failures; empty means
+// the guarantees held.
+struct EpisodeOutcome {
+  uint64_t committed = 0;        // workload commits acknowledged
+  uint64_t machine_deaths = 0;   // client coroutines unwound by a fault
+  uint64_t check_failures = 0;   // clients unwound by a fail-stop invariant
+  uint64_t recoveries = 0;       // successful recoveries (incl. the final)
+  // Durability-checker accumulation across every verified recovery.
+  uint64_t keys_checked = 0;
+  uint64_t lost_writes = 0;
+  uint64_t atomicity_violations = 0;
+  uint64_t promoted_pending = 0;
+  // Replication audit (replicated episodes only).
+  uint64_t audit_sectors_expected = 0;
+  uint64_t audit_sectors_underreplicated = 0;
+  int64_t end_time_ns = 0;  // virtual time consumed by the episode
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  // FNV-1a over every numeric field: two runs of the same config must agree.
+  uint64_t Hash() const;
+  std::string Summary() const;
+};
+
+// Runs one episode to completion on a fresh simulator. Never throws; oracle
+// failures and infrastructure breakage land in `violations`.
+EpisodeOutcome RunEpisode(const EpisodeConfig& cfg);
+
+struct ShrinkResult {
+  EpisodeConfig minimal;
+  EpisodeOutcome outcome;  // outcome of `minimal` (still violating)
+  int replays_used = 0;
+};
+
+// Minimises a failing config: pass 1 is ddmin over the event list (drop
+// chunks, halving the chunk size while removals keep the episode failing);
+// pass 2 coarsens each surviving timestamp to the roundest grain that still
+// fails. Any oracle violation counts as "still failing". `budget` bounds the
+// number of episode replays.
+ShrinkResult Shrink(const EpisodeConfig& failing, int budget = 250);
+
+struct ExplorerOptions {
+  uint64_t base_seed = 1;
+  uint64_t episodes = 10;
+  GeneratorOptions gen;
+  bool shrink = true;
+  int shrink_budget = 250;
+};
+
+struct ShrunkFailure {
+  EpisodeConfig original;
+  ShrinkResult shrunk;
+};
+
+struct ExplorerReport {
+  uint64_t episodes_run = 0;
+  uint64_t violations = 0;
+  std::vector<ShrunkFailure> failures;
+  // FNV-1a chain over every episode's outcome hash: one number that pins the
+  // behaviour of the whole corpus.
+  uint64_t corpus_hash = 0;
+
+  bool ok() const { return violations == 0; }
+};
+
+class ChaosExplorer {
+ public:
+  explicit ChaosExplorer(ExplorerOptions options) : options_(options) {}
+
+  // Episodes base_seed .. base_seed+episodes-1, shrinking each failure.
+  ExplorerReport Run();
+
+ private:
+  ExplorerOptions options_;
+};
+
+}  // namespace rlchaos

@@ -3,6 +3,7 @@
 #include <array>
 #include <cstdio>
 #include <map>
+#include <utility>
 
 #include "src/sim/check.h"
 #include "src/sim/crc32.h"
@@ -129,6 +130,22 @@ std::string ReplicaAudit::Summary() const {
   return buf;
 }
 
+namespace {
+
+// True if `seq` fell in a RESET gap: shipped, later crossed by the quorum
+// cursor via an epoch fast-forward, but never genuinely quorum-acked.
+bool InResetGap(const std::vector<std::pair<uint64_t, uint64_t>>& gaps,
+                uint64_t seq) {
+  for (const auto& [lo, hi] : gaps) {
+    if (seq >= lo && seq < hi) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
 ReplicaAudit AuditReplicaDurability(const rlrep::LogShipper& shipper,
                                     const rlrep::ReplicaNode& replica) {
   // Replay the shipped history in sequence order to build each sector's
@@ -147,10 +164,12 @@ ReplicaAudit AuditReplicaDurability(const rlrep::LogShipper& shipper,
   const rlstor::DiskImage& image = replica.disk().image();
   std::array<uint8_t, rlstor::kSectorSize> buf;
   for (const auto& [sector, history] : versions) {
-    // Newest quorum-acked version of this sector, if any.
+    // Newest genuinely quorum-acked version of this sector, if any (versions
+    // in a RESET gap are below the cursor without having been acked).
     size_t acked = history.size();
     for (size_t i = 0; i < history.size(); ++i) {
-      if (history[i].first < cursor) {
+      if (history[i].first < cursor &&
+          !InResetGap(shipper.reset_gaps(), history[i].first)) {
         acked = i;
       }
     }
@@ -179,6 +198,67 @@ ReplicaAudit AuditReplicaDurability(const rlrep::LogShipper& shipper,
       ++audit.sectors_ok;
     } else {
       ++audit.sectors_mismatched;
+    }
+  }
+  return audit;
+}
+
+std::string QuorumAudit::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "sectors expected=%llu ok=%llu underreplicated=%llu -> %s",
+                static_cast<unsigned long long>(sectors_expected),
+                static_cast<unsigned long long>(sectors_ok),
+                static_cast<unsigned long long>(sectors_underreplicated),
+                ok() ? "OK" : "QUORUM DURABILITY VIOLATED");
+  return buf;
+}
+
+QuorumAudit AuditQuorumDurability(
+    const rlrep::LogShipper& shipper,
+    const std::vector<const rlrep::ReplicaNode*>& replicas) {
+  const uint64_t cursor = shipper.audit_quorum_cursor();
+  std::map<uint64_t, std::vector<std::pair<uint64_t, uint32_t>>> versions;
+  for (const rlrep::ShippedBlockMeta& block : shipper.shipped_blocks()) {
+    for (size_t i = 0; i < block.sector_crcs.size(); ++i) {
+      versions[block.lba + i].emplace_back(block.seq, block.sector_crcs[i]);
+    }
+  }
+
+  QuorumAudit audit;
+  const size_t quorum = shipper.quorum_size();
+  std::array<uint8_t, rlstor::kSectorSize> buf;
+  for (const auto& [sector, history] : versions) {
+    size_t acked = history.size();
+    for (size_t i = 0; i < history.size(); ++i) {
+      if (history[i].first < cursor &&
+          !InResetGap(shipper.reset_gaps(), history[i].first)) {
+        acked = i;
+      }
+    }
+    if (acked == history.size()) {
+      continue;
+    }
+    ++audit.sectors_expected;
+    size_t holders = 0;
+    for (const rlrep::ReplicaNode* replica : replicas) {
+      const rlstor::DiskImage& image = replica->disk().image();
+      if (image.state(sector) != rlstor::SectorState::kDurable) {
+        continue;
+      }
+      image.ReadDurable(sector, buf);
+      const uint32_t got = rlsim::Crc32c(buf);
+      for (size_t i = acked; i < history.size(); ++i) {
+        if (history[i].second == got) {
+          ++holders;
+          break;
+        }
+      }
+    }
+    if (holders >= quorum) {
+      ++audit.sectors_ok;
+    } else {
+      ++audit.sectors_underreplicated;
     }
   }
   return audit;

@@ -91,4 +91,23 @@ struct ReplicaAudit {
 ReplicaAudit AuditReplicaDurability(const rlrep::LogShipper& shipper,
                                     const rlrep::ReplicaNode& replica);
 
+// Per-sector quorum verdict across the whole replica set: every sector the
+// primary quorum-acknowledged must be durably held (newest-acked-or-newer,
+// as above) by at least `shipper.quorum_size()` replicas. This is the right
+// oracle under fault schedules that kill or partition individual replicas:
+// no single replica need hold everything — different sectors may be covered
+// by different replica subsets — but each sector's quorum must survive.
+struct QuorumAudit {
+  uint64_t sectors_expected = 0;
+  uint64_t sectors_ok = 0;
+  uint64_t sectors_underreplicated = 0;  // held by fewer than quorum replicas
+
+  bool ok() const { return sectors_underreplicated == 0; }
+  std::string Summary() const;
+};
+
+QuorumAudit AuditQuorumDurability(
+    const rlrep::LogShipper& shipper,
+    const std::vector<const rlrep::ReplicaNode*>& replicas);
+
 }  // namespace rlfault

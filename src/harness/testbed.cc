@@ -351,6 +351,31 @@ void Testbed::HealReplica(size_t r) {
   fabric_->SetLinkUp("primary", replicas_.at(r)->name(), true);
 }
 
+void Testbed::SetReplicaLinkLoss(size_t r, double drop_probability) {
+  RL_CHECK(fabric_ != nullptr);
+  fabric_->SetLinkLoss("primary", replicas_.at(r)->name(), drop_probability);
+}
+
+void Testbed::KillReplica(size_t r) {
+  RL_CHECK(fabric_ != nullptr);
+  replicas_.at(r)->disk().PowerLoss();
+  fabric_->SetLinkUp("primary", replicas_.at(r)->name(), false);
+}
+
+void Testbed::ReviveReplica(size_t r) {
+  RL_CHECK(fabric_ != nullptr);
+  replicas_.at(r)->disk().PowerRestore();
+  fabric_->SetLinkUp("primary", replicas_.at(r)->name(), true);
+}
+
+void Testbed::InjectLogDiskWriteFaults(uint32_t count) {
+  log_disk_physical().InjectWriteFaults(count);
+}
+
+void Testbed::InjectDataDiskWriteFaults(uint32_t count) {
+  data_disk().InjectWriteFaults(count);
+}
+
 void Testbed::RegisterReplicationStats(rlsim::StatsRegistry& registry) const {
   if (fabric_ == nullptr) {
     return;

@@ -94,6 +94,22 @@ class Testbed {
   void PartitionReplica(size_t r);
   void HealReplica(size_t r);
 
+  // Degrades (restores) the primary<->replica link to the given random-loss
+  // probability without taking it down.
+  void SetReplicaLinkLoss(size_t r, double drop_probability);
+
+  // Kills replica `r` outright: its disk loses power and its link drops.
+  // Revive powers the disk back up and heals the link; the shipper's
+  // go-back-N retransmission then catches the replica up. Both idempotent.
+  void KillReplica(size_t r);
+  void ReviveReplica(size_t r);
+
+  // Arms the next `count` writes against the physical log/data disk to fail
+  // with kIoError after landing a torn sector prefix (see
+  // SimBlockDevice::InjectWriteFaults). Cleared by the next power cycle.
+  void InjectLogDiskWriteFaults(uint32_t count);
+  void InjectDataDiskWriteFaults(uint32_t count);
+
   // Kills the guest OS/DBMS only (trusted layer and devices unaffected).
   void CrashGuest();
 

@@ -132,6 +132,17 @@ void NetworkFabric::SetLinkUp(const std::string& a, const std::string& b,
   ba->up = up;
 }
 
+void NetworkFabric::SetLinkLoss(const std::string& a, const std::string& b,
+                                double drop_probability) {
+  RL_CHECK(drop_probability >= 0 && drop_probability < 1.0);
+  Link* ab = FindLink(a, b);
+  Link* ba = FindLink(b, a);
+  RL_CHECK_MSG(ab != nullptr && ba != nullptr,
+               "SetLinkLoss on unknown link " << a << "<->" << b);
+  ab->params.drop_probability = drop_probability;
+  ba->params.drop_probability = drop_probability;
+}
+
 bool NetworkFabric::link_up(const std::string& a, const std::string& b) const {
   const Link* link = FindLink(a, b);
   RL_CHECK_MSG(link != nullptr, "link_up on unknown link " << a << "->" << b);

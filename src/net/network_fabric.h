@@ -120,6 +120,12 @@ class NetworkFabric {
   void SetLinkUp(const std::string& a, const std::string& b, bool up);
   bool link_up(const std::string& a, const std::string& b) const;
 
+  // Degrades (or restores) both directions between a and b to the given
+  // random-loss probability. Fault-injection hook: a flaky link rather than
+  // a hard partition.
+  void SetLinkLoss(const std::string& a, const std::string& b,
+                   double drop_probability);
+
   const Stats& stats() const { return stats_; }
 
   // Registers this fabric's stats under `prefix` (e.g. "net.") for uniform

@@ -190,8 +190,11 @@ Task<void> RapiLogDevice::DrainLoop() {
       continue;  // rails dropped mid-write; OnPowerDown handles the fallout
     }
     if (st != BlockStatus::kOk) {
-      // Physical write failed (e.g. disk lost power first). Retry later.
-      co_await drain_wake_.Wait();
+      // Physical write failed (transient medium error, or the disk lost
+      // power first). Back off briefly and retry rather than parking on
+      // drain_wake_: during an emergency flush no new admissions arrive to
+      // wake us, and the hold-up window is ticking.
+      co_await sim_.Sleep(Duration::Micros(200));
       continue;
     }
     // Retire the written prefix. The last entry of the run may have been

@@ -273,6 +273,13 @@ void LogShipper::PowerRestore() {
   }
   powered_ = true;
   reset_floor_ = next_seq_;
+  if (quorum_cursor_ < reset_floor_) {
+    // Everything shipped but not quorum-acked before the cut is now
+    // unrecoverable from the primary: RESETs will fast-forward peer cursors
+    // across it, which advances quorum_cursor_ without the data having
+    // landed anywhere. Record the range so the audits exclude it.
+    reset_gaps_.emplace_back(quorum_cursor_, reset_floor_);
+  }
   const TimePoint now = sim_.now();
   for (Peer& peer : peers_) {
     peer.backoff_doublings = 0;

@@ -39,6 +39,7 @@
 #include <deque>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/net/network_fabric.h"
@@ -145,6 +146,14 @@ class LogShipper : public rlstor::BlockDevice {
     return audit_log_;
   }
 
+  // Seq ranges [lo, hi) the quorum accounting jumped over via RESET after a
+  // primary power cycle. Blocks inside were never genuinely
+  // quorum-acknowledged — the cursor crossing them is an epoch artifact, not
+  // a durability promise — so the oracles must not demand them back.
+  const std::vector<std::pair<uint64_t, uint64_t>>& reset_gaps() const {
+    return reset_gaps_;
+  }
+
   const Stats& stats() const { return stats_; }
   void RegisterStats(rlsim::StatsRegistry& registry,
                      const std::string& prefix) const;
@@ -192,6 +201,7 @@ class LogShipper : public rlstor::BlockDevice {
   bool powered_ = true;
   bool had_power_loss_ = false;
   uint64_t cut_quorum_cursor_ = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> reset_gaps_;
 
   rlsim::WaitQueue quorum_wake_;
   rlsim::WaitQueue retrans_wake_;

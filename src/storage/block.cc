@@ -12,6 +12,8 @@ std::string ToString(BlockStatus s) {
       return "out-of-range";
     case BlockStatus::kTornWrite:
       return "torn-write";
+    case BlockStatus::kIoError:
+      return "io-error";
   }
   return "unknown";
 }

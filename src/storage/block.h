@@ -15,6 +15,7 @@ enum class BlockStatus {
   kDeviceOff,    // device lost power (or was never powered)
   kOutOfRange,   // sector range exceeds device capacity
   kTornWrite,    // write was interrupted by power loss mid-transfer
+  kIoError,      // medium error (fault injection); request may be partial
 };
 
 std::string ToString(BlockStatus s);

@@ -109,6 +109,21 @@ Task<BlockStatus> SimBlockDevice::Write(uint64_t lba,
     stats_.failed_requests.Add();
     co_return BlockStatus::kDeviceOff;
   }
+  if (write_faults_pending_ > 0) {
+    --write_faults_pending_;
+    const uint32_t sectors = static_cast<uint32_t>(data.size() / kSectorSize);
+    co_await sim_.Sleep(model_->CacheTransferTime(sectors));
+    // Like a power cut mid-request: a sector prefix lands durably (sector
+    // writes are atomic, so a single-sector request applies nothing).
+    const uint32_t applied = sectors / 2;
+    for (uint32_t i = 0; i < applied; ++i) {
+      image_.WriteDurable(
+          lba + i,
+          data.subspan(static_cast<size_t>(i) * kSectorSize, kSectorSize));
+    }
+    stats_.failed_requests.Add();
+    co_return BlockStatus::kIoError;
+  }
   const TimePoint start = sim_.now();
   BlockStatus status;
   if (options_.cache_policy == WriteCachePolicy::kWriteThrough || fua) {
@@ -284,6 +299,7 @@ void SimBlockDevice::PowerLoss() {
 
 void SimBlockDevice::PowerRestore() {
   emergency_mode_ = false;
+  write_faults_pending_ = 0;
   if (powered_) {
     return;
   }

@@ -88,6 +88,15 @@ class SimBlockDevice : public BlockDevice {
   void PowerRestore();
   bool powered() const { return powered_; }
 
+  // Fault injection (chaos testing): the next `count` writes fail with
+  // kIoError after durably applying a prefix of their sectors — a torn
+  // multi-sector write, exactly the partial-application semantics of a
+  // power cut mid-request. Single-sector writes stay all-or-nothing.
+  // The pending budget is cleared by PowerRestore (the power cycle is the
+  // repair action the storage stack already understands).
+  void InjectWriteFaults(uint32_t count) { write_faults_pending_ += count; }
+  uint32_t write_faults_pending() const { return write_faults_pending_; }
+
   void EnterEmergencyMode() override { emergency_mode_ = true; }
   void ExitEmergencyMode() { emergency_mode_ = false; }
   bool emergency_mode() const { return emergency_mode_; }
@@ -118,6 +127,7 @@ class SimBlockDevice : public BlockDevice {
   bool powered_ = true;
   // While set, only FUA writes are serviced (see EnterEmergencyMode).
   bool emergency_mode_ = false;
+  uint32_t write_faults_pending_ = 0;
   rlsim::SimMutex actuator_;
   // A medium write in flight. Sector writes are atomic (as real drives
   // guarantee); a power cut mid-request applies a prefix of its sectors.

@@ -9,6 +9,7 @@
 #include "src/harness/testbed.h"
 #include "src/sim/simulator.h"
 #include "src/workload/kv_workload.h"
+#include "tests/testlib/campaign_util.h"
 
 namespace rlharness {
 namespace {
@@ -35,13 +36,7 @@ TEST_P(DurabilityCampaignTest, NoAckedCommitLost) {
   Simulator sim(static_cast<uint64_t>(std::get<2>(GetParam())) * 31 +
                 static_cast<uint64_t>(disks) * 7 +
                 static_cast<uint64_t>(mode));
-  TestbedOptions opts;
-  opts.mode = mode;
-  opts.disks = disks;
-  opts.db.pool_pages = 512;
-  opts.db.journal_pages = 300;
-  opts.db.profile.checkpoint_dirty_pages = 128;
-  Testbed bed(sim, opts);
+  Testbed bed(sim, rltest::CampaignOptions(mode, disks));
 
   rlwork::KvConfig kv_cfg;
   kv_cfg.key_space = 2000;
@@ -57,10 +52,7 @@ TEST_P(DurabilityCampaignTest, NoAckedCommitLost) {
     co_await w.Load(b.db(), 300);
     rlsim::Rng rng(s.rng().Fork());
     for (int round = 0; round < 3; ++round) {
-      auto stop = std::make_shared<bool>(false);
-      for (int c = 0; c < 4; ++c) {
-        s.Spawn(w.RunClient(b.db(), round * 10 + c, stop.get(), &chk));
-      }
+      auto stop = rltest::SpawnFleet(s, w, b.db(), round * 10, 4, &chk);
       co_await s.Sleep(Duration::Millis(rng.UniformInt(40, 250)));
       if (f == Fault::kPowerCut) {
         b.CutPower();

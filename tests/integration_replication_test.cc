@@ -10,6 +10,7 @@
 #include "src/harness/testbed.h"
 #include "src/sim/simulator.h"
 #include "src/workload/kv_workload.h"
+#include "tests/testlib/campaign_util.h"
 
 namespace rlharness {
 namespace {
@@ -18,52 +19,30 @@ using rlsim::Duration;
 using rlsim::Simulator;
 using rlsim::Task;
 
-TestbedOptions ReplicatedOptions(DeploymentMode mode, rlrep::ShipMode ship,
-                                 size_t replicas) {
-  TestbedOptions opt;
-  opt.mode = mode;
-  opt.disks = DiskSetup::kSsdLog;
-  opt.db.profile = rldb::PostgresLikeProfile();
-  opt.db.pool_pages = 512;
-  opt.db.journal_pages = 300;
-  opt.db.profile.checkpoint_dirty_pages = 128;
-  opt.replication.enabled = true;
-  opt.replication.replicas = replicas;
-  opt.replication.shipper.mode = ship;
-  return opt;
-}
-
-rlwork::KvConfig WriteHeavyKv() {
-  return rlwork::KvConfig{.key_space = 2000, .write_fraction = 1.0,
-                          .ops_per_txn = 2};
-}
-
 TEST(ReplicationIntegrationTest, QuorumCommitsSurviveTotalPrimaryLoss) {
   // The headline: the primary dies mid-shipment over lossy links, its log
   // disk is treated as lost with it, and the database recovers from a
   // replica's disk image without losing one acked commit.
   Simulator sim;
   TestbedOptions opt =
-      ReplicatedOptions(DeploymentMode::kNative, rlrep::ShipMode::kQuorumAck,
-                        /*replicas=*/3);
+      rltest::ReplicatedCampaignOptions(DeploymentMode::kNative,
+                                        rlrep::ShipMode::kQuorumAck,
+                                        /*replicas=*/3);
   opt.replication.link.drop_probability = 0.05;
   Testbed bed(sim, opt);
-  rlwork::KvWorkload kv(sim, WriteHeavyKv());
+  rlwork::KvWorkload kv(sim, rltest::WriteHeavyKv());
   rlfault::DurabilityChecker checker;
   rlfault::VerifyResult verdict;
   size_t replicas_passing_audit = 0;
-  bool stop = false;
   sim.Spawn([](Simulator& s, Testbed& b, rlwork::KvWorkload& w,
                rlfault::DurabilityChecker& chk, rlfault::VerifyResult& out,
-               size_t& passing, bool& stop_flag) -> Task<void> {
+               size_t& passing) -> Task<void> {
     co_await b.Start();
     co_await w.Load(b.db(), 500);
-    for (int c = 0; c < 4; ++c) {
-      s.Spawn(w.RunClient(b.db(), c, &stop_flag, &chk));
-    }
+    auto stop = rltest::SpawnFleet(s, w, b.db(), 0, 4, &chk);
     co_await s.Sleep(Duration::Millis(700));
     b.CutPower();
-    stop_flag = true;
+    *stop = true;
     // Rails are down; frames already on the wire drain into the replicas.
     co_await s.Sleep(Duration::Seconds(1));
     for (size_t r = 0; r < b.replica_count(); ++r) {
@@ -77,7 +56,7 @@ TEST(ReplicationIntegrationTest, QuorumCommitsSurviveTotalPrimaryLoss) {
     co_await b.RestorePowerAndRecoverFromReplica();
     out = co_await chk.VerifyAfterRecovery(b.db());
     co_await b.db().CheckTreeStructure();
-  }(sim, bed, kv, checker, verdict, replicas_passing_audit, stop));
+  }(sim, bed, kv, checker, verdict, replicas_passing_audit));
   sim.Run();
 
   EXPECT_GT(verdict.keys_checked, 0u);
@@ -94,34 +73,31 @@ TEST(ReplicationIntegrationTest, AsyncLossIsBoundedByReplicationLag) {
   // window are gone, which is exactly the bounded guarantee async offers.
   Simulator sim;
   Testbed bed(sim,
-              ReplicatedOptions(DeploymentMode::kNative,
+              rltest::ReplicatedCampaignOptions(DeploymentMode::kNative,
                                 rlrep::ShipMode::kAsync, /*replicas=*/2));
-  rlwork::KvWorkload kv(sim, WriteHeavyKv());
+  rlwork::KvWorkload kv(sim, rltest::WriteHeavyKv());
   rlfault::DurabilityChecker checker;
   rlfault::VerifyResult verdict;
   uint64_t lag_at_cut = 0;
-  bool stop = false;
   sim.Spawn([](Simulator& s, Testbed& b, rlwork::KvWorkload& w,
                rlfault::DurabilityChecker& chk, rlfault::VerifyResult& out,
-               uint64_t& lag, bool& stop_flag) -> Task<void> {
+               uint64_t& lag) -> Task<void> {
     co_await b.Start();
     co_await w.Load(b.db(), 300);
-    for (int c = 0; c < 4; ++c) {
-      s.Spawn(w.RunClient(b.db(), c, &stop_flag, &chk));
-    }
+    auto stop = rltest::SpawnFleet(s, w, b.db(), 0, 4, &chk);
     co_await s.Sleep(Duration::Millis(300));
     b.PartitionReplica(0);
     b.PartitionReplica(1);
     co_await s.Sleep(Duration::Millis(300));
     lag = b.shipper()->next_seq() - b.shipper()->quorum_cursor();
     b.CutPower();
-    stop_flag = true;
+    *stop = true;
     co_await s.Sleep(Duration::Seconds(1));
     b.HealReplica(0);
     b.HealReplica(1);
     co_await b.RestorePowerAndRecoverFromReplica();
     out = co_await chk.VerifyAfterRecovery(b.db());
-  }(sim, bed, kv, checker, verdict, lag_at_cut, stop));
+  }(sim, bed, kv, checker, verdict, lag_at_cut));
   sim.Run();
 
   EXPECT_GT(lag_at_cut, 0u);
@@ -138,26 +114,23 @@ TEST(ReplicationIntegrationTest, AsyncLossIsBoundedByReplicationLag) {
 TEST(ReplicationIntegrationTest, PartitionedReplicaCatchesUpAfterHeal) {
   Simulator sim;
   Testbed bed(sim,
-              ReplicatedOptions(DeploymentMode::kNative,
+              rltest::ReplicatedCampaignOptions(DeploymentMode::kNative,
                                 rlrep::ShipMode::kQuorumAck, /*replicas=*/3));
-  rlwork::KvWorkload kv(sim, WriteHeavyKv());
+  rlwork::KvWorkload kv(sim, rltest::WriteHeavyKv());
   uint64_t cursor_while_partitioned = 0;
-  bool stop = false;
   sim.Spawn([](Simulator& s, Testbed& b, rlwork::KvWorkload& w,
-               uint64_t& partitioned_cursor, bool& stop_flag) -> Task<void> {
+               uint64_t& partitioned_cursor) -> Task<void> {
     co_await b.Start();
     co_await w.Load(b.db(), 300);
-    for (int c = 0; c < 4; ++c) {
-      s.Spawn(w.RunClient(b.db(), c, &stop_flag, nullptr));
-    }
+    auto stop = rltest::SpawnFleet(s, w, b.db(), 0, 4, nullptr);
     co_await s.Sleep(Duration::Millis(200));
     b.PartitionReplica(2);
     co_await s.Sleep(Duration::Millis(400));
     partitioned_cursor = b.replica(2).cursor();
     b.HealReplica(2);
     co_await s.Sleep(Duration::Millis(400));
-    stop_flag = true;
-  }(sim, bed, kv, cursor_while_partitioned, stop));
+    *stop = true;
+  }(sim, bed, kv, cursor_while_partitioned));
   sim.Run();
 
   // It fell behind during the partition and retransmission closed the gap.
@@ -177,27 +150,24 @@ TEST(ReplicationIntegrationTest, RapiLogWithQuorumReplicationRecovers) {
   // after a power cut must lose nothing.
   Simulator sim;
   Testbed bed(sim,
-              ReplicatedOptions(DeploymentMode::kRapiLog,
+              rltest::ReplicatedCampaignOptions(DeploymentMode::kRapiLog,
                                 rlrep::ShipMode::kQuorumAck, /*replicas=*/3));
-  rlwork::KvWorkload kv(sim, WriteHeavyKv());
+  rlwork::KvWorkload kv(sim, rltest::WriteHeavyKv());
   rlfault::DurabilityChecker checker;
   rlfault::VerifyResult verdict;
-  bool stop = false;
   sim.Spawn([](Simulator& s, Testbed& b, rlwork::KvWorkload& w,
-               rlfault::DurabilityChecker& chk, rlfault::VerifyResult& out,
-               bool& stop_flag) -> Task<void> {
+               rlfault::DurabilityChecker& chk,
+               rlfault::VerifyResult& out) -> Task<void> {
     co_await b.Start();
     co_await w.Load(b.db(), 300);
-    for (int c = 0; c < 4; ++c) {
-      s.Spawn(w.RunClient(b.db(), c, &stop_flag, &chk));
-    }
+    auto stop = rltest::SpawnFleet(s, w, b.db(), 0, 4, &chk);
     co_await s.Sleep(Duration::Millis(600));
     b.CutPower();
-    stop_flag = true;
+    *stop = true;
     co_await s.Sleep(Duration::Seconds(1));
     co_await b.RestorePowerAndRecoverFromReplica();
     out = co_await chk.VerifyAfterRecovery(b.db());
-  }(sim, bed, kv, checker, verdict, stop));
+  }(sim, bed, kv, checker, verdict));
   sim.Run();
 
   EXPECT_GT(verdict.keys_checked, 0u);
