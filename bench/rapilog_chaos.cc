@@ -4,13 +4,24 @@
 //   rapilog_chaos --seed S --episodes N corpus of N episodes (seeds S..S+N-1)
 //   rapilog_chaos --replay FILE         re-execute a recorded schedule
 //   rapilog_chaos --ablate-powerguard   plant the known violation (guard off)
-//   rapilog_chaos --minutes M           wall-clock-bounded nightly sweep
-//   rapilog_chaos --out DIR             write shrunken failing schedules there
+//   rapilog_chaos --budget N            nightly sweep: N episodes in batches
+//   rapilog_chaos --minutes M           alias: budget = M * 120 episodes
+//   rapilog_chaos --audit               run every episode twice under the
+//                                       DivergenceAuditor; any divergence is
+//                                       a failure with a first-event report
+//   rapilog_chaos --trace               print applied events/recoveries with
+//                                       virtual timestamps (stderr)
+//   rapilog_chaos --out DIR             write shrunken failing schedules and
+//                                       divergence reports there
 //   rapilog_chaos --no-shrink           report failures without minimising
 //
-// Exit status: 0 if every episode's oracles held, 1 otherwise. Failing
-// schedules are shrunk to minimal replayable files (see DESIGN.md).
-#include <chrono>
+// Every mode is a pure function of its arguments: the --minutes wall-clock
+// deadline of earlier revisions is gone (it made "how many seeds ran" depend
+// on the machine), replaced by an episode budget computed once at startup.
+//
+// Exit status: 0 if every episode's oracles held (and, under --audit, every
+// double-run agreed), 1 otherwise. Failing schedules are shrunk to minimal
+// replayable files (see DESIGN.md).
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +42,16 @@ using rlchaos::ExplorerOptions;
 using rlchaos::ExplorerReport;
 using rlchaos::ShrunkFailure;
 
+// --minutes M is kept as a deterministic alias: at the historical rate of
+// roughly two episodes per second, one minute of the old wall-clock sweep
+// covered ~120 episodes. The conversion happens once at startup; nothing in
+// the run consults a real clock, so the same invocation always explores the
+// same seeds.
+constexpr uint64_t kEpisodesPerMinute = 120;
+
+// Seeds per ExplorerReport batch in budget mode (progress granularity only).
+constexpr uint64_t kBatchEpisodes = 10;
+
 void PrintEpisode(const EpisodeConfig& cfg, const EpisodeOutcome& out) {
   std::printf("episode seed=%llu mode=%s disks=%s replicas=%zu events=%zu\n",
               static_cast<unsigned long long>(cfg.seed),
@@ -43,18 +64,22 @@ void PrintEpisode(const EpisodeConfig& cfg, const EpisodeOutcome& out) {
   }
 }
 
+bool WriteTextFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << contents;
+  std::printf("  wrote %s\n", path.c_str());
+  return true;
+}
+
 bool WriteScheduleFile(const std::string& dir, const EpisodeConfig& cfg,
                        const char* tag) {
   std::ostringstream path;
   path << dir << "/chaos-" << tag << "-seed" << cfg.seed << ".schedule";
-  std::ofstream out(path.str());
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", path.str().c_str());
-    return false;
-  }
-  out << rlchaos::Serialize(cfg);
-  std::printf("  wrote %s\n", path.str().c_str());
-  return true;
+  return WriteTextFile(path.str(), rlchaos::Serialize(cfg));
 }
 
 int ReportAndPersist(const ExplorerReport& report, const std::string& out_dir) {
@@ -79,7 +104,36 @@ int ReportAndPersist(const ExplorerReport& report, const std::string& out_dir) {
   return report.ok() ? 0 : 1;
 }
 
-int RunReplay(const std::string& path) {
+// Runs the divergence audit over seeds [base, base+episodes). Returns the
+// number of diverging episodes; the first report per diverging seed is
+// printed and (with --out) persisted for the nightly artifact upload.
+uint64_t AuditSeeds(uint64_t base, uint64_t episodes,
+                    const rlchaos::GeneratorOptions& gen,
+                    const std::string& out_dir) {
+  uint64_t diverged = 0;
+  for (uint64_t i = 0; i < episodes; ++i) {
+    const uint64_t seed = base + i;
+    const EpisodeConfig cfg = rlchaos::GenerateEpisode(seed, gen);
+    const rlharness::DivergenceReport report =
+        rlchaos::AuditEpisodeDivergence(cfg);
+    if (report.identical) {
+      continue;
+    }
+    ++diverged;
+    std::printf("audit seed %llu: %s\n",
+                static_cast<unsigned long long>(seed),
+                report.Summary().c_str());
+    if (!out_dir.empty()) {
+      std::ostringstream path;
+      path << out_dir << "/divergence-seed" << seed << ".txt";
+      WriteTextFile(path.str(), report.Summary() + "\n\nschedule:\n" +
+                                    rlchaos::Serialize(cfg));
+    }
+  }
+  return diverged;
+}
+
+int RunReplay(const std::string& path, const rlchaos::RunOptions& run) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot read %s\n", path.c_str());
@@ -94,7 +148,7 @@ int RunReplay(const std::string& path) {
                  error.c_str());
     return 2;
   }
-  const EpisodeOutcome out = rlchaos::RunEpisode(cfg);
+  const EpisodeOutcome out = rlchaos::RunEpisode(cfg, run);
   PrintEpisode(cfg, out);
   return out.ok() ? 0 : 1;
 }
@@ -104,9 +158,11 @@ int RunReplay(const std::string& path) {
 int main(int argc, char** argv) {
   uint64_t seed = 1;
   uint64_t episodes = 1;
-  int minutes = 0;
+  uint64_t budget = 0;  // 0 = not in budget (sweep) mode
   bool shrink = true;
+  bool audit = false;
   bool ablate_powerguard = false;
+  rlchaos::RunOptions run;
   std::string replay_path;
   std::string out_dir;
   for (int i = 1; i < argc; ++i) {
@@ -122,14 +178,21 @@ int main(int argc, char** argv) {
       seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--episodes") {
       episodes = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--budget") {
+      budget = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--minutes") {
-      minutes = std::atoi(next());
+      // Deterministic alias, converted exactly once here.
+      budget = std::strtoull(next(), nullptr, 10) * kEpisodesPerMinute;
     } else if (arg == "--replay") {
       replay_path = next();
     } else if (arg == "--out") {
       out_dir = next();
     } else if (arg == "--no-shrink") {
       shrink = false;
+    } else if (arg == "--trace") {
+      run.trace = true;
+    } else if (arg == "--audit") {
+      audit = true;
     } else if (arg == "--ablate-powerguard") {
       ablate_powerguard = true;
     } else {
@@ -139,13 +202,14 @@ int main(int argc, char** argv) {
   }
 
   if (!replay_path.empty()) {
-    return RunReplay(replay_path);
+    return RunReplay(replay_path, run);
   }
 
   ExplorerOptions opts;
   opts.base_seed = seed;
   opts.episodes = episodes;
   opts.shrink = shrink;
+  opts.run = run;
   if (ablate_powerguard) {
     // The ablation: RapiLog without its power guard. A buffered-ack device
     // whose emergency flush never runs loses acked commits on a plug-pull —
@@ -161,18 +225,17 @@ int main(int argc, char** argv) {
     opts.gen.run_us_max = 900'000;
   }
 
-  if (minutes > 0) {
-    // Nightly mode: keep consuming seeds until the wall-clock budget is
-    // spent. Each episode is still individually deterministic in virtual
-    // time; only how many we run depends on the machine.
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::minutes(minutes);
+  if (budget > 0) {
+    // Nightly mode: a fixed episode budget consumed in batches. Same seed
+    // and budget, same seeds explored, same output — the sweep is as
+    // deterministic as a single episode.
     ExplorerReport total;
     uint64_t next_seed = seed;
-    while (std::chrono::steady_clock::now() < deadline) {
+    uint64_t remaining = budget;
+    while (remaining > 0) {
       ExplorerOptions batch = opts;
       batch.base_seed = next_seed;
-      batch.episodes = 10;
+      batch.episodes = remaining < kBatchEpisodes ? remaining : kBatchEpisodes;
       const ExplorerReport r = ChaosExplorer(batch).Run();
       total.episodes_run += r.episodes_run;
       total.violations += r.violations;
@@ -181,8 +244,17 @@ int main(int argc, char** argv) {
       }
       total.corpus_hash ^= r.corpus_hash;
       next_seed += batch.episodes;
+      remaining -= batch.episodes;
     }
-    return ReportAndPersist(total, out_dir);
+    uint64_t diverged = 0;
+    if (audit) {
+      diverged = AuditSeeds(seed, budget, opts.gen, out_dir);
+      std::printf("audit: %llu/%llu episodes diverged\n",
+                  static_cast<unsigned long long>(diverged),
+                  static_cast<unsigned long long>(budget));
+    }
+    const int status = ReportAndPersist(total, out_dir);
+    return diverged > 0 ? 1 : status;
   }
 
   const ExplorerReport report = ChaosExplorer(opts).Run();
@@ -190,7 +262,15 @@ int main(int argc, char** argv) {
     // Single-episode runs print their outcome even when clean, so CI can
     // assert determinism by comparing two runs' hashes.
     const EpisodeConfig cfg = rlchaos::GenerateEpisode(seed, opts.gen);
-    PrintEpisode(cfg, rlchaos::RunEpisode(cfg));
+    PrintEpisode(cfg, rlchaos::RunEpisode(cfg, run));
   }
-  return ReportAndPersist(report, out_dir);
+  uint64_t diverged = 0;
+  if (audit) {
+    diverged = AuditSeeds(seed, episodes, opts.gen, out_dir);
+    std::printf("audit: %llu/%llu episodes diverged\n",
+                static_cast<unsigned long long>(diverged),
+                static_cast<unsigned long long>(episodes));
+  }
+  const int status = ReportAndPersist(report, out_dir);
+  return diverged > 0 ? 1 : status;
 }

@@ -1,6 +1,7 @@
 #include "src/db/lock_manager.h"
 
 #include "src/sim/check.h"
+#include "src/sim/ordered.h"
 
 namespace rldb {
 
@@ -77,7 +78,10 @@ void LockManager::ReleaseAll(uint64_t txn_id) {
   if (it == held_.end()) {
     return;
   }
-  const std::unordered_set<uint64_t> keys = std::move(it->second);
+  // Release in ascending key order: Release() hands each lock to the next
+  // waiter, so hash-iteration order here would decide which blocked
+  // transactions wake first — an ordering leak into the event stream.
+  const std::vector<uint64_t> keys = rlsim::SortedKeys(it->second);
   held_.erase(it);
   for (uint64_t key : keys) {
     Release(txn_id, key);
@@ -85,8 +89,10 @@ void LockManager::ReleaseAll(uint64_t txn_id) {
 }
 
 void LockManager::Shutdown() {
-  for (auto& [key, entry] : table_) {
-    for (Waiter& w : entry.waiters) {
+  // Sorted snapshot: completing a waiter schedules its wakeup, so the
+  // completion order must not follow hash-table iteration order.
+  for (const uint64_t key : rlsim::SortedKeys(table_)) {
+    for (Waiter& w : table_.at(key).waiters) {
       if (!w.granted->completed()) {
         w.granted->Complete(false);
       }

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
-#include <cstdlib>
 #include <memory>
 #include <utility>
 
@@ -26,16 +25,11 @@ using rlsim::TimePoint;
 
 namespace {
 
-// RAPILOG_CHAOS_TRACE=1 prints each applied event and recovery outcome with
-// its virtual timestamp — the first thing to reach for when a shrunken
+// --trace (RunOptions::trace) prints each applied event and recovery outcome
+// with its virtual timestamp — the first thing to reach for when a shrunken
 // schedule needs a human explanation. Printing never affects the episode.
-bool TraceEnabled() {
-  static const bool on = std::getenv("RAPILOG_CHAOS_TRACE") != nullptr;
-  return on;
-}
-
-void Trace(const rlsim::Simulator& sim, const char* fmt, ...) {
-  if (!TraceEnabled()) {
+void Trace(bool enabled, const rlsim::Simulator& sim, const char* fmt, ...) {
+  if (!enabled) {
     return;
   }
   std::fprintf(stderr, "[chaos %10lld us] ",
@@ -66,6 +60,7 @@ struct EpisodeState {
   Testbed& bed;
   rlwork::KvWorkload& kv;
   const EpisodeConfig& cfg;
+  const RunOptions& run;
   EpisodeOutcome& out;
   rlfault::DurabilityChecker checker;
   // Stop flag of the currently running client fleet; replaced (and the old
@@ -76,8 +71,8 @@ struct EpisodeState {
   rlsim::WaitQueue rec_done;
 
   EpisodeState(Simulator& s, Testbed& b, rlwork::KvWorkload& k,
-               const EpisodeConfig& c, EpisodeOutcome& o)
-      : sim(s), bed(b), kv(k), cfg(c), out(o),
+               const EpisodeConfig& c, const RunOptions& r, EpisodeOutcome& o)
+      : sim(s), bed(b), kv(k), cfg(c), run(r), out(o),
         stop(std::make_shared<bool>(true)), rec_done(s) {}
 };
 
@@ -150,7 +145,10 @@ Task<void> PowerRecoveryTask(EpisodeState& st) {
     // during the journal replay). The database stays closed; a later
     // power-restore event — or the episode's final normalisation — retries.
   }
-  Trace(st.sim, "power recovery %s", ok ? "succeeded" : "failed");
+  Trace(st.run.trace, st.sim, "power recovery %s",
+        ok ? "succeeded" : "failed");
+  st.sim.EmitTrace("chaos", ok ? "power-recovery-ok" : "power-recovery-failed",
+                   0);
   if (ok) {
     ++st.out.recoveries;
     co_await RunOracles(st, "after power recovery");
@@ -183,9 +181,11 @@ Task<void> GuestRecoveryTask(EpisodeState& st) {
 void ApplyEvent(EpisodeState& st, const FaultEvent& e) {
   Testbed& bed = st.bed;
   const bool has_replicas = bed.replica_count() > 0;
-  Trace(st.sim, "event %s arg=%u (mains=%d db_open=%d recovering=%d)",
+  Trace(st.run.trace, st.sim,
+        "event %s arg=%u (mains=%d db_open=%d recovering=%d)",
         ToString(e.kind).c_str(), e.arg, bed.psu().mains_on() ? 1 : 0,
         bed.db_open() ? 1 : 0, st.recovering ? 1 : 0);
+  st.sim.EmitTrace("chaos", ToString(e.kind), e.arg);
   switch (e.kind) {
     case FaultKind::kPowerCut:
       if (bed.psu().mains_on()) {
@@ -286,8 +286,9 @@ Task<void> EpisodeMain(EpisodeState& st) {
 
   // Final normalisation: every episode ends with the paper's plug-pull. If
   // the schedule already left the mains out, the episode's own cut stands.
-  Trace(sim, "wind-down (mains=%d db_open=%d)", bed.psu().mains_on() ? 1 : 0,
-        bed.db_open() ? 1 : 0);
+  Trace(st.run.trace, sim, "wind-down (mains=%d db_open=%d)",
+        bed.psu().mains_on() ? 1 : 0, bed.db_open() ? 1 : 0);
+  sim.EmitTrace("chaos", "wind-down", 0);
   if (bed.psu().mains_on()) {
     bed.CutPower();
   }
@@ -383,9 +384,10 @@ std::string EpisodeOutcome::Summary() const {
   return buf;
 }
 
-EpisodeOutcome RunEpisode(const EpisodeConfig& cfg) {
+EpisodeOutcome RunEpisode(const EpisodeConfig& cfg, const RunOptions& run) {
   EpisodeOutcome out;
   Simulator sim(cfg.seed);
+  sim.set_tracer(run.sink);
 
   TestbedOptions opts;
   opts.mode = cfg.mode;
@@ -406,7 +408,7 @@ EpisodeOutcome RunEpisode(const EpisodeConfig& cfg) {
   kv_cfg.write_fraction = 0.6;
   rlwork::KvWorkload kv(sim, kv_cfg);
 
-  EpisodeState st(sim, bed, kv, cfg, out);
+  EpisodeState st(sim, bed, kv, cfg, run, out);
   sim.Spawn(EpisodeMain(st), "chaos-episode");
   sim.Run();
 
@@ -414,7 +416,17 @@ EpisodeOutcome RunEpisode(const EpisodeConfig& cfg) {
   out.machine_deaths =
       static_cast<uint64_t>(kv.stats().machine_deaths.value());
   out.end_time_ns = (sim.now() - TimePoint::Origin()).nanos();
+  sim.set_tracer(nullptr);
   return out;
+}
+
+rlharness::DivergenceReport AuditEpisodeDivergence(const EpisodeConfig& cfg) {
+  const rlharness::DivergenceAuditor auditor;
+  return auditor.RunTwice([&cfg](rlsim::TraceEventSink& sink) {
+    RunOptions run;
+    run.sink = &sink;
+    RunEpisode(cfg, run);
+  });
 }
 
 ShrinkResult Shrink(const EpisodeConfig& failing, int budget) {
@@ -494,7 +506,7 @@ ExplorerReport ChaosExplorer::Run() {
   for (uint64_t i = 0; i < options_.episodes; ++i) {
     const uint64_t seed = options_.base_seed + i;
     EpisodeConfig cfg = GenerateEpisode(seed, options_.gen);
-    EpisodeOutcome out = RunEpisode(cfg);
+    EpisodeOutcome out = RunEpisode(cfg, options_.run);
     ++report.episodes_run;
     corpus = FnvMix(corpus, out.Hash());
     if (!out.ok()) {

@@ -14,8 +14,22 @@
 #include <vector>
 
 #include "src/faults/chaos/schedule.h"
+#include "src/harness/divergence_auditor.h"
+#include "src/sim/trace.h"
 
 namespace rlchaos {
+
+// Per-run knobs that do NOT belong in the EpisodeConfig (they must not
+// change the episode's behaviour, only what is observed about it).
+struct RunOptions {
+  // Print each applied event and recovery outcome with its virtual
+  // timestamp to stderr — the first thing to reach for when a shrunken
+  // schedule needs a human explanation. Printing never affects the episode.
+  bool trace = false;
+  // Optional trace-event sink installed on the episode's simulator for the
+  // DivergenceAuditor (src/harness). Null = no recording.
+  rlsim::TraceEventSink* sink = nullptr;
+};
 
 // Everything observable about one episode, deterministically derived from
 // the config. `violations` holds human-readable oracle failures; empty means
@@ -44,7 +58,14 @@ struct EpisodeOutcome {
 
 // Runs one episode to completion on a fresh simulator. Never throws; oracle
 // failures and infrastructure breakage land in `violations`.
-EpisodeOutcome RunEpisode(const EpisodeConfig& cfg);
+EpisodeOutcome RunEpisode(const EpisodeConfig& cfg,
+                          const RunOptions& run = {});
+
+// Determinism cross-check: executes the episode twice from its seed with a
+// trace recorder installed and returns the auditor's verdict — identical
+// per-epoch digests, or the first diverging event (see
+// src/harness/divergence_auditor.h).
+rlharness::DivergenceReport AuditEpisodeDivergence(const EpisodeConfig& cfg);
 
 struct ShrinkResult {
   EpisodeConfig minimal;
@@ -63,6 +84,7 @@ struct ExplorerOptions {
   uint64_t base_seed = 1;
   uint64_t episodes = 10;
   GeneratorOptions gen;
+  RunOptions run;
   bool shrink = true;
   int shrink_budget = 250;
 };

@@ -7,6 +7,7 @@
 
 #include "src/sim/check.h"
 #include "src/sim/crc32.h"
+#include "src/sim/ordered.h"
 #include "src/storage/disk_image.h"
 
 namespace rlfault {
@@ -53,8 +54,11 @@ Task<VerifyResult> DurabilityChecker::VerifyAfterRecovery(
 
   // Resolve in-flight commits first: each one either fully landed (its
   // commit record was durable even though the ack never reached the client)
-  // or must be entirely absent.
-  for (const auto& [token, writes] : pending_) {
+  // or must be entirely absent. Resolve in ascending token order: the hash
+  // map's iteration order must not decide which promoted commit wins a key
+  // both touched, nor the order of the verification reads below.
+  for (const uint64_t token : rlsim::SortedKeys(pending_)) {
+    const std::vector<TrackedWrite>& writes = pending_.at(token);
     size_t applied = 0;
     for (const TrackedWrite& w : writes) {
       std::vector<uint8_t> got;

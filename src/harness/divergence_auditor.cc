@@ -1,0 +1,124 @@
+#include "src/harness/divergence_auditor.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/sim/check.h"
+#include "src/sim/crc32.h"
+
+namespace rlharness {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvMix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t MixEvent(uint64_t h, const TraceEvent& e) {
+  h = FnvMix(h, static_cast<uint64_t>(e.at_ns));
+  h = FnvMix(h, rlsim::Crc32c(
+                    {reinterpret_cast<const uint8_t*>(e.actor.data()),
+                     e.actor.size()}));
+  h = FnvMix(h, rlsim::Crc32c(
+                    {reinterpret_cast<const uint8_t*>(e.kind.data()),
+                     e.kind.size()}));
+  h = FnvMix(h, e.payload_crc);
+  return h;
+}
+
+}  // namespace
+
+std::string TraceEvent::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "[%10lld us] %s %s crc=%08x",
+                static_cast<long long>(at_ns / 1000), actor.c_str(),
+                kind.c_str(), payload_crc);
+  return buf;
+}
+
+void TraceRecorder::OnTraceEvent(rlsim::TimePoint at, std::string_view actor,
+                                 std::string_view kind,
+                                 uint32_t payload_crc) {
+  events_.push_back(TraceEvent{(at - rlsim::TimePoint::Origin()).nanos(),
+                               std::string(actor), std::string(kind),
+                               payload_crc});
+}
+
+std::vector<EpochDigest> FoldEpochs(const std::vector<TraceEvent>& events,
+                                    int64_t epoch_ns) {
+  RL_CHECK(epoch_ns > 0);
+  std::vector<EpochDigest> epochs;
+  for (const TraceEvent& e : events) {
+    const int64_t idx = e.at_ns / epoch_ns;
+    if (epochs.empty() || epochs.back().epoch_index != idx) {
+      // Trace events arrive in nondecreasing virtual time, so epochs close
+      // in order; empty windows are simply absent.
+      RL_CHECK(epochs.empty() || epochs.back().epoch_index < idx);
+      epochs.push_back(EpochDigest{idx, kFnvOffset, 0});
+    }
+    epochs.back().digest = MixEvent(epochs.back().digest, e);
+    ++epochs.back().events;
+  }
+  return epochs;
+}
+
+std::string DivergenceReport::Summary() const {
+  char buf[256];
+  if (identical) {
+    std::snprintf(buf, sizeof(buf),
+                  "identical: %zu events, digests agree in every epoch",
+                  events_a);
+    return buf;
+  }
+  std::snprintf(
+      buf, sizeof(buf),
+      "DIVERGED at event %zu (epoch %lld, %lld us window):\n"
+      "  run 1: %s\n  run 2: %s\n  (%zu vs %zu events total)",
+      first_diverging_event, static_cast<long long>(first_bad_epoch),
+      static_cast<long long>(epoch_ns / 1000), event_a.c_str(),
+      event_b.c_str(), events_a, events_b);
+  return buf;
+}
+
+DivergenceReport DivergenceAuditor::Compare(
+    const std::vector<TraceEvent>& a, const std::vector<TraceEvent>& b) const {
+  DivergenceReport report;
+  report.events_a = a.size();
+  report.events_b = b.size();
+  report.epoch_ns = epoch_ns_;
+  if (FoldEpochs(a, epoch_ns_) == FoldEpochs(b, epoch_ns_)) {
+    // Digest equality over every epoch implies (modulo CRC collisions) the
+    // streams agree; skip the per-event scan.
+    return report;
+  }
+  report.identical = false;
+  const size_t common = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < common && a[i] == b[i]) {
+    ++i;
+  }
+  report.first_diverging_event = i;
+  report.event_a = i < a.size() ? a[i].ToString() : "<end of stream>";
+  report.event_b = i < b.size() ? b[i].ToString() : "<end of stream>";
+  const int64_t at_ns =
+      i < a.size() ? a[i].at_ns : (i < b.size() ? b[i].at_ns : 0);
+  report.first_bad_epoch = at_ns / epoch_ns_;
+  return report;
+}
+
+DivergenceReport DivergenceAuditor::RunTwice(const RunFn& run) const {
+  TraceRecorder first;
+  run(first);
+  TraceRecorder second;
+  run(second);
+  return Compare(first.events(), second.events());
+}
+
+}  // namespace rlharness

@@ -281,7 +281,10 @@ Task<void> Testbed::OpenDatabase() {
 
 Task<void> Testbed::Start() { co_await OpenDatabase(); }
 
-void Testbed::CutPower() { psu_->CutMains(); }
+void Testbed::CutPower() {
+  sim_.EmitTrace("testbed", "cut-power", 0);
+  psu_->CutMains();
+}
 
 Task<void> Testbed::RestorePowerAndRecover() {
   // Settle: give every in-flight guest operation time to complete its
@@ -343,27 +346,32 @@ Task<void> Testbed::RestorePowerAndRecoverFromReplica() {
 
 void Testbed::PartitionReplica(size_t r) {
   RL_CHECK(fabric_ != nullptr);
+  sim_.EmitTrace("testbed", "partition-replica", static_cast<uint32_t>(r));
   fabric_->SetLinkUp("primary", replicas_.at(r)->name(), false);
 }
 
 void Testbed::HealReplica(size_t r) {
   RL_CHECK(fabric_ != nullptr);
+  sim_.EmitTrace("testbed", "heal-replica", static_cast<uint32_t>(r));
   fabric_->SetLinkUp("primary", replicas_.at(r)->name(), true);
 }
 
 void Testbed::SetReplicaLinkLoss(size_t r, double drop_probability) {
   RL_CHECK(fabric_ != nullptr);
+  sim_.EmitTrace("testbed", "set-link-loss", static_cast<uint32_t>(r));
   fabric_->SetLinkLoss("primary", replicas_.at(r)->name(), drop_probability);
 }
 
 void Testbed::KillReplica(size_t r) {
   RL_CHECK(fabric_ != nullptr);
+  sim_.EmitTrace("testbed", "kill-replica", static_cast<uint32_t>(r));
   replicas_.at(r)->disk().PowerLoss();
   fabric_->SetLinkUp("primary", replicas_.at(r)->name(), false);
 }
 
 void Testbed::ReviveReplica(size_t r) {
   RL_CHECK(fabric_ != nullptr);
+  sim_.EmitTrace("testbed", "revive-replica", static_cast<uint32_t>(r));
   replicas_.at(r)->disk().PowerRestore();
   fabric_->SetLinkUp("primary", replicas_.at(r)->name(), true);
 }
@@ -389,6 +397,7 @@ void Testbed::RegisterReplicationStats(rlsim::StatsRegistry& registry) const {
 
 void Testbed::CrashGuest() {
   RL_CHECK_MSG(vm_ != nullptr, "native deployment has no guest to crash");
+  sim_.EmitTrace("testbed", "crash-guest", 0);
   vm_->Crash();
 }
 

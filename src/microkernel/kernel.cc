@@ -703,6 +703,8 @@ void Kernel::CheckInvariants() const {
     }
   }
   // I6: every CDT edge endpoint is an occupied slot.
+  // simlint: ordered-ok (universally-quantified fail-stop check: no effect
+  // unless an invariant is broken, and then the run aborts)
   for (const auto& [child, parent] : cdt_parent_) {
     Capability tmp;
     RL_CHECK_MSG(Lookup(child, &tmp) != KernelStatus::kInvalidSlot,

@@ -100,6 +100,9 @@ namespace {
 double Zeta(uint64_t n, double theta) {
   double sum = 0;
   for (uint64_t i = 1; i <= n; ++i) {
+    // simlint: float-ok (fixed loop order: same n and theta give the same
+    // rounding on every run; this is a one-shot precomputation, not a
+    // long-lived accumulator)
     sum += 1.0 / std::pow(static_cast<double>(i), theta);
   }
   return sum;
@@ -138,13 +141,13 @@ DiscreteDistribution::DiscreteDistribution(std::vector<double> weights) {
   double total = 0;
   for (double w : weights) {
     RL_CHECK(w >= 0);
-    total += w;
+    total += w;  // simlint: float-ok (fixed order over the caller's vector)
   }
   RL_CHECK(total > 0);
   cumulative_.reserve(weights.size());
   double running = 0;
   for (double w : weights) {
-    running += w / total;
+    running += w / total;  // simlint: float-ok (fixed order, one-shot setup)
     cumulative_.push_back(running);
   }
   cumulative_.back() = 1.0;

@@ -17,6 +17,7 @@
 #include "src/sim/rng.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
+#include "src/sim/trace.h"
 
 namespace rlsim {
 
@@ -73,6 +74,20 @@ class Simulator {
   // Number of root tasks that have not yet completed.
   size_t pending_tasks() const;
 
+  // Optional execution-trace sink (see src/sim/trace.h). Not owned; the
+  // caller must clear it before the sink dies. Null = tracing off.
+  TraceEventSink* tracer() const { return tracer_; }
+  void set_tracer(TraceEventSink* tracer) { tracer_ = tracer; }
+
+  // Emits one trace event at the current virtual time. Callers computing a
+  // non-trivial payload CRC should guard on tracer() != nullptr first.
+  void EmitTrace(std::string_view actor, std::string_view kind,
+                 uint32_t payload_crc) {
+    if (tracer_ != nullptr) {
+      tracer_->OnTraceEvent(now_, actor, kind, payload_crc);
+    }
+  }
+
  private:
   struct Event {
     TimePoint at;
@@ -104,6 +119,7 @@ class Simulator {
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   std::vector<RootTask> roots_;
   Rng rng_;
+  TraceEventSink* tracer_ = nullptr;
 };
 
 }  // namespace rlsim

@@ -56,7 +56,16 @@ void Histogram::Record(int64_t value) {
   }
   ++count_;
   sum_ += value;
-  sum_squares_ += static_cast<double>(value) * static_cast<double>(value);
+  AddSquares(static_cast<double>(value) * static_cast<double>(value));
+}
+
+void Histogram::AddSquares(double value) {
+  // Kahan summation: the carry recovers the low-order bits a plain += would
+  // drop once sum_squares_ dwarfs the addend.
+  const double y = value - sum_squares_carry_;
+  const double t = sum_squares_ + y;
+  sum_squares_carry_ = (t - sum_squares_) - y;
+  sum_squares_ = t;
 }
 
 int64_t Histogram::min() const { return count_ > 0 ? min_ : 0; }
@@ -99,6 +108,7 @@ void Histogram::Reset() {
   count_ = 0;
   sum_ = 0;
   sum_squares_ = 0;
+  sum_squares_carry_ = 0;
   min_ = 0;
   max_ = 0;
 }
@@ -122,7 +132,7 @@ void Histogram::Merge(const Histogram& other) {
   }
   count_ += other.count_;
   sum_ += other.sum_;
-  sum_squares_ += other.sum_squares_;
+  AddSquares(other.sum_squares_);
 }
 
 std::string Histogram::Summary() const {

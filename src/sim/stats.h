@@ -59,10 +59,16 @@ class Histogram {
   static size_t BucketIndex(int64_t value);
   static int64_t BucketUpperBound(size_t index);
 
+  // Kahan-compensated accumulation: squared nanosecond values overflow the
+  // 53-bit double mantissa after a few million samples, and the naive
+  // running sum would then make StdDev depend on accumulation order.
+  void AddSquares(double value);
+
   std::vector<int64_t> buckets_;
   int64_t count_ = 0;
   int64_t sum_ = 0;
   double sum_squares_ = 0;
+  double sum_squares_carry_ = 0;  // Kahan compensation term
   int64_t min_ = 0;
   int64_t max_ = 0;
 };

@@ -1,0 +1,32 @@
+// Deterministic execution tracing.
+//
+// Components emit (virtual timestamp, actor, kind, payload CRC) events into
+// an optional sink hung off the Simulator. With no sink installed tracing is
+// a null check and costs nothing, so the instrumentation can stay on in
+// every build. The DivergenceAuditor (src/harness) runs a scenario twice
+// from the same seed and compares the two event streams to pinpoint the
+// first nondeterministic event — the dynamic cross-check behind the simlint
+// static determinism rules.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/sim/time.h"
+
+namespace rlsim {
+
+class TraceEventSink {
+ public:
+  virtual ~TraceEventSink() = default;
+
+  // `actor` names the emitting component (e.g. "log-disk", "testbed"),
+  // `kind` the event (e.g. "medium-write"), and `payload_crc` a CRC-32C
+  // digest of whatever payload identifies the event's effect (data bytes,
+  // LBA, replica index). Emission order is the simulator's deterministic
+  // execution order; the sink must not re-enter the simulator.
+  virtual void OnTraceEvent(TimePoint at, std::string_view actor,
+                            std::string_view kind, uint32_t payload_crc) = 0;
+};
+
+}  // namespace rlsim

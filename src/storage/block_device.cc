@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/sim/check.h"
+#include "src/sim/crc32.h"
 
 namespace rlstor {
 
@@ -15,6 +16,25 @@ namespace {
 
 // Longest contiguous run destaged as one medium write.
 constexpr uint32_t kMaxDestageRun = 256;
+
+// Payload digest for trace events: CRC-32C of the data bytes, seeded with a
+// CRC of the LBA so the same contents at different addresses differ.
+uint32_t TraceCrc(uint64_t lba, std::span<const uint8_t> data) {
+  uint8_t lba_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    lba_bytes[i] = static_cast<uint8_t>(lba >> (i * 8));
+  }
+  return rlsim::Crc32c(data, rlsim::Crc32c(lba_bytes));
+}
+
+uint32_t TraceCrc(uint64_t a, uint64_t b) {
+  uint8_t bytes[16];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<uint8_t>(a >> (i * 8));
+    bytes[8 + i] = static_cast<uint8_t>(b >> (i * 8));
+  }
+  return rlsim::Crc32c(bytes);
+}
 
 }  // namespace
 
@@ -122,6 +142,7 @@ Task<BlockStatus> SimBlockDevice::Write(uint64_t lba,
           data.subspan(static_cast<size_t>(i) * kSectorSize, kSectorSize));
     }
     stats_.failed_requests.Add();
+    sim_.EmitTrace(options_.name, "torn-write", TraceCrc(lba, applied));
     co_return BlockStatus::kIoError;
   }
   const TimePoint start = sim_.now();
@@ -162,6 +183,9 @@ Task<BlockStatus> SimBlockDevice::WriteThroughPath(
     image_.WriteDurable(
         lba + i,
         data.subspan(static_cast<size_t>(i) * kSectorSize, kSectorSize));
+  }
+  if (sim_.tracer() != nullptr) {
+    sim_.EmitTrace(options_.name, "medium-write", TraceCrc(lba, data));
   }
   co_return BlockStatus::kOk;
 }
@@ -256,6 +280,7 @@ Task<void> SimBlockDevice::DestageLoop() {
             }
           }
           stats_.destaged_sectors.Add(run);
+          sim_.EmitTrace(options_.name, "destage", TraceCrc(start_lba, run));
         }
       }
     }
@@ -290,6 +315,11 @@ void SimBlockDevice::PowerLoss() {
       }
     }
   }
+  sim_.EmitTrace(options_.name, "power-loss",
+                 TraceCrc(image_.cached_sector_count(),
+                          inflight_medium_write_.has_value()
+                              ? inflight_medium_write_->lba + 1
+                              : 0));
   image_.PowerLoss(-1);
   // Unblock everything so waiters observe powered_ == false.
   destage_wake_.NotifyAll();
@@ -304,6 +334,7 @@ void SimBlockDevice::PowerRestore() {
     return;
   }
   powered_ = true;
+  sim_.EmitTrace(options_.name, "power-restore", 0);
   if (options_.cache_policy != WriteCachePolicy::kBatteryBackedWriteBack) {
     // Volatile cache contents were lost; forget the destage backlog.
     dirty_fifo_.clear();

@@ -72,6 +72,8 @@ void DiskImage::Harden(uint64_t sector) {
 }
 
 void DiskImage::HardenAll() {
+  // simlint: ordered-ok (pure state fold: every cached sector moves to the
+  // durable map; no I/O, no events, and the result is order-independent)
   for (const auto& [sector, data] : cache_) {
     durable_[sector] = data;
     torn_.erase(sector);
@@ -112,6 +114,7 @@ bool DiskImage::IsDurable(uint64_t sector) const {
 std::vector<uint64_t> DiskImage::DurableSectorList() const {
   std::vector<uint64_t> sectors;
   sectors.reserve(durable_.size());
+  // simlint: ordered-ok (collected set is sorted before it is returned)
   for (const auto& [sector, contents] : durable_) {
     if (!torn_.contains(sector)) {
       sectors.push_back(sector);

@@ -1,0 +1,355 @@
+// Unit tests for the simlint determinism linter: every rule fires on a
+// minimal fixture with the right id and line, the matching pragma suppresses
+// it, and baselines round-trip byte-identically.
+#include "tools/simlint/simlint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using simlint::Finding;
+using simlint::LintSource;
+
+// One finding with the given rule at the given 1-based line.
+void ExpectOnly(const std::vector<Finding>& findings, const char* rule,
+                int line) {
+  ASSERT_EQ(findings.size(), 1u) << simlint::FormatText(findings);
+  EXPECT_EQ(findings[0].rule, rule);
+  EXPECT_EQ(findings[0].line, line);
+  EXPECT_FALSE(findings[0].message.empty());
+  EXPECT_FALSE(findings[0].hint.empty());
+}
+
+void ExpectClean(const std::vector<Finding>& findings) {
+  EXPECT_TRUE(findings.empty()) << simlint::FormatText(findings);
+}
+
+// --- SL001 wall-clock / entropy -------------------------------------------
+
+TEST(SimlintSL001, SteadyClockFires) {
+  ExpectOnly(LintSource("src/sim/foo.cc",
+                        "void F() {\n"
+                        "  auto t = std::chrono::steady_clock::now();\n"
+                        "}\n"),
+             "SL001", 2);
+}
+
+TEST(SimlintSL001, RandAndSrandFire) {
+  const auto findings = LintSource("bench/foo.cc",
+                                   "int F() {\n"
+                                   "  srand(42);\n"
+                                   "  return rand();\n"
+                                   "}\n");
+  ASSERT_EQ(findings.size(), 2u) << simlint::FormatText(findings);
+  EXPECT_EQ(findings[0].rule, "SL001");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[1].rule, "SL001");
+  EXPECT_EQ(findings[1].line, 3);
+}
+
+TEST(SimlintSL001, RandomDeviceAndTimeFire) {
+  ExpectOnly(LintSource("src/db/x.cc", "std::random_device rd;\n"), "SL001",
+             1);
+  ExpectOnly(LintSource("src/db/x.cc",
+                        "int64_t F() { return time(nullptr); }\n"),
+             "SL001", 1);
+}
+
+TEST(SimlintSL001, MemberCallsAndIdentifiersAreNotFlagged) {
+  // cfg.time() is a member accessor, run_time( is a different identifier,
+  // and prose in comments/strings never counts.
+  ExpectClean(LintSource("src/sim/foo.cc",
+                         "void F(Config cfg) {\n"
+                         "  auto a = cfg.time();\n"
+                         "  auto b = run_time(cfg);\n"
+                         "  // steady_clock is banned here\n"
+                         "  const char* s = \"rand() in a string\";\n"
+                         "  (void)a; (void)b; (void)s;\n"
+                         "}\n"));
+}
+
+TEST(SimlintSL001, PragmaSuppresses) {
+  ExpectClean(LintSource("src/sim/foo.cc",
+                         "// simlint: clock-ok (host-side tool, not sim)\n"
+                         "auto t = std::chrono::steady_clock::now();\n"));
+}
+
+// --- SL002 ambient state --------------------------------------------------
+
+TEST(SimlintSL002, GetenvFiresInCoreDirs) {
+  ExpectOnly(LintSource("src/faults/foo.cc",
+                        "bool Trace() { return std::getenv(\"T\"); }\n"),
+             "SL002", 1);
+}
+
+TEST(SimlintSL002, GetenvOutsideCoreDirsIsNotFlagged) {
+  ExpectClean(LintSource("src/db/foo.cc",
+                         "bool Trace() { return std::getenv(\"T\"); }\n"));
+}
+
+TEST(SimlintSL002, MutableStaticFires) {
+  ExpectOnly(LintSource("src/sim/foo.cc", "static int hit_count = 0;\n"),
+             "SL002", 1);
+}
+
+TEST(SimlintSL002, ConstStaticAndFunctionsAreNotFlagged) {
+  ExpectClean(LintSource("src/sim/foo.cc",
+                         "static constexpr int kMax = 3;\n"
+                         "static const char* Name() { return \"x\"; }\n"
+                         "static int Helper(int v);\n"));
+}
+
+TEST(SimlintSL002, PragmaSuppresses) {
+  ExpectClean(
+      LintSource("src/rapilog/foo.cc",
+                 "// simlint: static-ok (write-once registration table)\n"
+                 "static int table = 0;\n"));
+}
+
+// --- SL003 unordered iteration --------------------------------------------
+
+constexpr const char* kUnorderedLoop =
+    "std::unordered_map<uint64_t, int> pending_;\n"
+    "void F() {\n"
+    "  for (const auto& [k, v] : pending_) {\n"
+    "  }\n"
+    "}\n";
+
+TEST(SimlintSL003, RangeForOverMemberFires) {
+  ExpectOnly(LintSource("src/db/foo.cc", kUnorderedLoop), "SL003", 3);
+}
+
+TEST(SimlintSL003, IteratorLoopFires) {
+  ExpectOnly(LintSource("src/db/foo.cc",
+                        "std::unordered_set<int> live_;\n"
+                        "void F() {\n"
+                        "  for (auto it = live_.begin(); it != live_.end();"
+                        " ++it) {\n"
+                        "  }\n"
+                        "}\n"),
+             "SL003", 3);
+}
+
+TEST(SimlintSL003, OutsideSrcIsNotFlagged) {
+  ExpectClean(LintSource("tests/foo.cc", kUnorderedLoop));
+}
+
+TEST(SimlintSL003, PragmaSuppresses) {
+  ExpectClean(LintSource("src/db/foo.cc",
+                         "std::unordered_map<uint64_t, int> pending_;\n"
+                         "void F() {\n"
+                         "  // simlint: ordered-ok (order-independent fold)\n"
+                         "  for (const auto& [k, v] : pending_) {\n"
+                         "  }\n"
+                         "}\n"));
+}
+
+TEST(SimlintSL003, MultiLineJustificationCommentStillSuppresses) {
+  ExpectClean(LintSource("src/db/foo.cc",
+                         "std::unordered_map<uint64_t, int> pending_;\n"
+                         "void F() {\n"
+                         "  // simlint: ordered-ok (a justification long\n"
+                         "  // enough to wrap onto a second comment line)\n"
+                         "  for (const auto& [k, v] : pending_) {\n"
+                         "  }\n"
+                         "}\n"));
+}
+
+TEST(SimlintSL003, SortedSnapshotIsTheBlessedPattern) {
+  // Iterating SortedKeys(pending_) does not touch the container's own
+  // iteration order, so the rule stays quiet.
+  ExpectClean(LintSource("src/db/foo.cc",
+                         "std::unordered_map<uint64_t, int> pending_;\n"
+                         "void F() {\n"
+                         "  for (uint64_t k : rlsim::SortedKeys(pending_)) {\n"
+                         "  }\n"
+                         "}\n"));
+}
+
+// --- SL004 pointer-keyed ordering -----------------------------------------
+
+TEST(SimlintSL004, PointerKeyedMapFires) {
+  ExpectOnly(LintSource("src/db/foo.cc", "std::map<Node*, int> by_node_;\n"),
+             "SL004", 1);
+}
+
+TEST(SimlintSL004, PointerSetFires) {
+  ExpectOnly(LintSource("src/db/foo.cc",
+                        "std::set<const Txn*> waiters_;\n"),
+             "SL004", 1);
+}
+
+TEST(SimlintSL004, ValueKeysAreNotFlagged) {
+  ExpectClean(
+      LintSource("src/db/foo.cc",
+                 "std::map<std::string, const Counter*> counters_;\n"
+                 "std::set<uint64_t> keys_;\n"));
+}
+
+TEST(SimlintSL004, PragmaSuppresses) {
+  ExpectClean(LintSource(
+      "src/db/foo.cc",
+      "// simlint: ptr-ok (ordering never observed; used as a set)\n"
+      "std::map<Node*, int> by_node_;\n"));
+}
+
+// --- SL005 raw new/delete -------------------------------------------------
+
+TEST(SimlintSL005, RawNewAndDeleteFire) {
+  const auto findings = LintSource("src/db/foo.cc",
+                                   "void F() {\n"
+                                   "  int* p = new int;\n"
+                                   "  delete p;\n"
+                                   "}\n");
+  ASSERT_EQ(findings.size(), 2u) << simlint::FormatText(findings);
+  EXPECT_EQ(findings[0].rule, "SL005");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[1].line, 3);
+}
+
+TEST(SimlintSL005, DeletedFunctionsAreNotFlagged) {
+  ExpectClean(LintSource("src/db/foo.cc",
+                         "struct S {\n"
+                         "  S(const S&) = delete;\n"
+                         "  S& operator=(const S&) = delete;\n"
+                         "};\n"));
+}
+
+TEST(SimlintSL005, TestsAreExempt) {
+  ExpectClean(LintSource("tests/foo.cc", "int* p = new int;\n"));
+}
+
+TEST(SimlintSL005, PragmaSuppresses) {
+  ExpectClean(LintSource("src/db/foo.cc",
+                         "// simlint: new-ok (immediately owned)\n"
+                         "Database* db = new Database();\n"));
+}
+
+// --- SL006 float accumulation ---------------------------------------------
+
+TEST(SimlintSL006, FloatAccumulatorFires) {
+  ExpectOnly(LintSource("src/sim/foo.cc",
+                        "double sum_ = 0;\n"
+                        "void Add(double v) { sum_ += v; }\n"),
+             "SL006", 2);
+}
+
+TEST(SimlintSL006, IntegerAccumulatorIsNotFlagged) {
+  ExpectClean(LintSource("src/sim/foo.cc",
+                         "int64_t count_ = 0;\n"
+                         "void Add() { count_ += 1; }\n"));
+}
+
+TEST(SimlintSL006, PragmaSuppresses) {
+  ExpectClean(
+      LintSource("src/sim/foo.cc",
+                 "double sum_ = 0;\n"
+                 "// simlint: float-ok (fixed order one-shot setup)\n"
+                 "void Add(double v) { sum_ += v; }\n"));
+}
+
+// --- Pragmas / stripping behaviour ----------------------------------------
+
+TEST(SimlintStrip, WrongPragmaTagDoesNotSuppress) {
+  // ordered-ok does not excuse a clock: suppression is per-rule.
+  const auto findings =
+      LintSource("src/sim/foo.cc",
+                 "// simlint: ordered-ok (wrong tag)\n"
+                 "auto t = std::chrono::steady_clock::now();\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "SL001");
+}
+
+TEST(SimlintStrip, BannedTokensInsideStringsAndCommentsAreIgnored) {
+  ExpectClean(LintSource(
+      "src/sim/foo.cc",
+      "/* steady_clock rand() getenv new delete */\n"
+      "const char* doc = \"for (x : pending_) steady_clock\";\n"));
+}
+
+// --- Baseline -------------------------------------------------------------
+
+TEST(SimlintBaseline, RoundTripsByteIdentically) {
+  const auto findings = LintSource("src/db/foo.cc",
+                                   "std::map<Node*, int> by_node_;\n"
+                                   "void F() {\n"
+                                   "  int* p = new int;\n"
+                                   "  int* q = new int;\n"
+                                   "}\n");
+  ASSERT_EQ(findings.size(), 3u);
+  const std::string text = simlint::SerializeBaseline(findings);
+
+  std::vector<simlint::BaselineEntry> entries;
+  std::string error;
+  ASSERT_TRUE(simlint::ParseBaseline(text, &entries, &error)) << error;
+  EXPECT_EQ(simlint::SerializeBaseline(entries), text);
+}
+
+TEST(SimlintBaseline, SuppressesExactlyTheBaselinedFindings) {
+  const char* old_code =
+      "void F() {\n"
+      "  int* p = new int;\n"
+      "}\n";
+  const auto old_findings = LintSource("src/db/foo.cc", old_code);
+  ASSERT_EQ(old_findings.size(), 1u);
+
+  std::vector<simlint::BaselineEntry> entries;
+  std::string error;
+  ASSERT_TRUE(simlint::ParseBaseline(simlint::SerializeBaseline(old_findings),
+                                     &entries, &error))
+      << error;
+
+  // Same file, the old finding moved down a line (baseline still matches via
+  // the line-content CRC) and a brand-new one appeared.
+  const char* new_code =
+      "void F() {\n"
+      "  // a new comment shifts everything down\n"
+      "  int* p = new int;\n"
+      "  delete p;\n"
+      "}\n";
+  const auto fresh = simlint::ApplyBaseline(
+      LintSource("src/db/foo.cc", new_code), entries);
+  ASSERT_EQ(fresh.size(), 1u) << simlint::FormatText(fresh);
+  EXPECT_EQ(fresh[0].line, 4);  // only the new `delete p;` survives
+}
+
+TEST(SimlintBaseline, RejectsMalformedLines) {
+  std::vector<simlint::BaselineEntry> entries;
+  std::string error;
+  EXPECT_FALSE(simlint::ParseBaseline("SL001 only-two-fields\n", &entries,
+                                      &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// --- Output formats -------------------------------------------------------
+
+TEST(SimlintOutput, JsonContainsEveryField) {
+  const auto findings =
+      LintSource("src/db/foo.cc", "void F() { int* p = new int; }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string json = simlint::FormatJson(findings);
+  EXPECT_NE(json.find("\"rule\":\"SL005\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"file\":\"src/db/foo.cc\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"total\":1"), std::string::npos);
+}
+
+TEST(SimlintOutput, GithubAnnotationsNameTheFile) {
+  const auto findings =
+      LintSource("src/sim/foo.cc", "std::random_device rd;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string gh = simlint::FormatGithub(findings);
+  EXPECT_NE(gh.find("::error file=src/sim/foo.cc,line=1"), std::string::npos)
+      << gh;
+}
+
+TEST(SimlintRules, TableListsAllSixRules) {
+  ASSERT_EQ(simlint::Rules().size(), 6u);
+  EXPECT_STREQ(simlint::Rules()[0].id, "SL001");
+  EXPECT_STREQ(simlint::Rules()[5].id, "SL006");
+}
+
+}  // namespace

@@ -47,10 +47,11 @@ std::shared_ptr<bool> SpawnFleet(Simulator& sim, rlwork::KvWorkload& kv,
   return stop;
 }
 
-CampaignResult RunSeededCampaign(uint64_t seed) {
+CampaignResult RunSeededCampaign(uint64_t seed, rlsim::TraceEventSink* sink) {
   // Client RNG streams derive from their ids; fold the seed in so different
   // seeds run genuinely different workloads, not just different cut times.
   Simulator sim(seed);
+  sim.set_tracer(sink);
   rlharness::TestbedOptions opts =
       CampaignOptions(rlharness::DeploymentMode::kRapiLog,
                       rlharness::DiskSetup::kSharedHdd);

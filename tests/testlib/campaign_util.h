@@ -48,7 +48,9 @@ struct CampaignResult {
 
 // The canonical seeded campaign: RapiLog on a shared HDD, four clients, one
 // power cut at a seed-derived instant, recover, verify. Same seed, same
-// result — the determinism property the sweep tests pin.
-CampaignResult RunSeededCampaign(uint64_t seed);
+// result — the determinism property the sweep tests pin. An optional trace
+// sink is installed on the simulator for the divergence-audit tests.
+CampaignResult RunSeededCampaign(uint64_t seed,
+                                 rlsim::TraceEventSink* sink = nullptr);
 
 }  // namespace rltest

@@ -1,0 +1,195 @@
+// simlint CLI.
+//
+//   simlint [options] PATH...
+//
+//   PATH                directory (recursive *.h/*.cc walk, sorted) or file
+//   --baseline FILE     subtract FILE's suppressions; fail only on new hits
+//   --write-baseline F  serialize current findings to F and exit 0
+//   --json              machine-readable output
+//   --github            GitHub Actions ::error annotations
+//   --list-rules        print the rule table and exit
+//
+// Exit status: 0 clean (after baseline), 1 findings, 2 usage/IO error.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <iterator>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/simlint/simlint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
+}
+
+// Deterministic file discovery: lexicographically sorted, build trees
+// skipped. Output order (and therefore baseline content) must not depend on
+// readdir order.
+std::vector<std::string> CollectFiles(const std::vector<std::string>& paths,
+                                      std::string* error) {
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (fs::recursive_directory_iterator it(path, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        const fs::path& p = it->path();
+        const std::string name = p.filename().string();
+        if (it->is_directory() &&
+            (name == "build" || name.substr(0, 1) == ".")) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && IsSourceFile(p)) {
+          files.push_back(p.generic_string());
+        }
+      }
+      if (ec) {
+        *error = "cannot walk " + path + ": " + ec.message();
+        return {};
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(fs::path(path).generic_string());
+    } else {
+      *error = "no such file or directory: " + path;
+      return {};
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  bool json = false;
+  bool github = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "simlint: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--baseline") {
+      baseline_path = next();
+    } else if (arg == "--write-baseline") {
+      write_baseline_path = next();
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--github") {
+      github = true;
+    } else if (arg == "--list-rules") {
+      for (const simlint::RuleInfo& r : simlint::Rules()) {
+        std::printf("%s %-22s %-7s %s\n", r.id, r.name, r.severity,
+                    r.summary);
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: simlint [--json] [--github] [--baseline FILE]\n"
+          "               [--write-baseline FILE] [--list-rules] PATH...\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "simlint: unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "simlint: no paths given (try: simlint src bench)\n");
+    return 2;
+  }
+
+  std::string error;
+  const std::vector<std::string> files = CollectFiles(paths, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "simlint: %s\n", error.c_str());
+    return 2;
+  }
+
+  // Pass 1: index every file (cross-file member declarations). Pass 2: lint.
+  std::vector<simlint::SourceFile> sources;
+  sources.reserve(files.size());
+  simlint::ProjectIndex index;
+  for (const std::string& file : files) {
+    std::string contents;
+    if (!ReadFile(file, &contents)) {
+      std::fprintf(stderr, "simlint: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    sources.push_back(simlint::StripSource(file, contents));
+    index.AddFile(sources.back());
+  }
+  std::vector<simlint::Finding> findings;
+  for (const simlint::SourceFile& src : sources) {
+    std::vector<simlint::Finding> f = simlint::LintFile(src, index);
+    findings.insert(findings.end(), std::make_move_iterator(f.begin()),
+                    std::make_move_iterator(f.end()));
+  }
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "simlint: cannot write %s\n",
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    out << simlint::SerializeBaseline(findings);
+    std::printf("simlint: wrote %zu finding(s) to %s\n", findings.size(),
+                write_baseline_path.c_str());
+    return 0;
+  }
+
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!ReadFile(baseline_path, &text)) {
+      std::fprintf(stderr, "simlint: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::vector<simlint::BaselineEntry> entries;
+    if (!simlint::ParseBaseline(text, &entries, &error)) {
+      std::fprintf(stderr, "simlint: %s\n", error.c_str());
+      return 2;
+    }
+    findings = simlint::ApplyBaseline(std::move(findings), entries);
+  }
+
+  if (json) {
+    std::fputs(simlint::FormatJson(findings).c_str(), stdout);
+  } else if (github) {
+    std::fputs(simlint::FormatGithub(findings).c_str(), stdout);
+  } else {
+    std::fputs(simlint::FormatText(findings).c_str(), stdout);
+    std::printf("simlint: %zu file(s), %zu finding(s)%s\n", files.size(),
+                findings.size(),
+                baseline_path.empty() ? "" : " not in baseline");
+  }
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,855 @@
+#include "tools/simlint/simlint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <set>
+
+#include "src/sim/crc32.h"
+
+namespace simlint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// True if `text[pos..]` starts with `word` at an identifier boundary on both
+// sides.
+bool WordAt(std::string_view text, size_t pos, std::string_view word) {
+  if (pos + word.size() > text.size()) return false;
+  if (text.substr(pos, word.size()) != word) return false;
+  if (pos > 0 && IsIdentChar(text[pos - 1])) return false;
+  const size_t end = pos + word.size();
+  if (end < text.size() && IsIdentChar(text[end])) return false;
+  return true;
+}
+
+// First boundary occurrence of `word` in `text`, or npos.
+size_t FindWord(std::string_view text, std::string_view word,
+                size_t from = 0) {
+  for (size_t pos = text.find(word, from); pos != std::string_view::npos;
+       pos = text.find(word, pos + 1)) {
+    if (WordAt(text, pos, word)) return pos;
+  }
+  return std::string_view::npos;
+}
+
+// True if `path` starts with the directory prefix `dir` ("src/sim" matches
+// "src/sim/foo.h" and "src/sim" itself, not "src/simx.h").
+bool UnderDir(std::string_view path, std::string_view dir) {
+  // Accept both "src/sim/..." and "./src/sim/...".
+  if (path.substr(0, 2) == "./") path.remove_prefix(2);
+  if (path.substr(0, dir.size()) != dir) return false;
+  return path.size() == dir.size() || path[dir.size()] == '/';
+}
+
+bool InSrc(std::string_view path) { return UnderDir(path, "src"); }
+bool InBench(std::string_view path) { return UnderDir(path, "bench"); }
+
+// Directories where ambient process state (getenv, mutable statics) is
+// banned outright: the simulation core, the trusted layer, fault injection.
+bool InAmbientBanDirs(std::string_view path) {
+  return UnderDir(path, "src/sim") || UnderDir(path, "src/rapilog") ||
+         UnderDir(path, "src/faults");
+}
+
+const char* SeverityFor(std::string_view rule) {
+  for (const RuleInfo& r : Rules()) {
+    if (rule == r.id) return r.severity;
+  }
+  return "error";
+}
+
+// Skip over a balanced <...> starting at text[pos] == '<'. Returns the index
+// one past the matching '>', or npos if unbalanced on this line.
+size_t SkipAngles(std::string_view text, size_t pos) {
+  int depth = 0;
+  for (size_t i = pos; i < text.size(); ++i) {
+    if (text[i] == '<') ++depth;
+    if (text[i] == '>') {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+  }
+  return std::string_view::npos;
+}
+
+std::string_view TrimView(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Final identifier of an expression like "table_", "state.pending_",
+// "this->cache_". Empty if the expression does not end in an identifier.
+std::string_view TailIdentifier(std::string_view expr) {
+  expr = TrimView(expr);
+  size_t end = expr.size();
+  while (end > 0 && IsIdentChar(expr[end - 1])) --end;
+  return expr.substr(end);
+}
+
+struct PendingFinding {
+  const char* rule;
+  const char* tag;  // suppression pragma tag
+  int line;         // 1-based
+  std::string message;
+  std::string hint;
+};
+
+class Linter {
+ public:
+  Linter(const SourceFile& file, const ProjectIndex& index)
+      : file_(file), index_(index) {}
+
+  std::vector<Finding> Run() {
+    CollectLocalDeclarations();
+    for (size_t i = 0; i < file_.code.size(); ++i) {
+      const std::string& line = file_.code[i];
+      const int ln = static_cast<int>(i) + 1;
+      CheckWallClock(line, ln);
+      CheckAmbientState(line, ln);
+      CheckUnorderedIteration(line, ln);
+      CheckPointerOrdering(line, ln);
+      CheckRawNewDelete(line, ln);
+      CheckFloatAccumulation(line, ln);
+    }
+    return Resolve();
+  }
+
+ private:
+  void Report(const char* rule, const char* tag, int line, std::string message,
+              std::string hint) {
+    pending_.push_back(
+        PendingFinding{rule, tag, line, std::move(message), std::move(hint)});
+  }
+
+  // SL001: ambient time and entropy. The simulator's virtual clock and
+  // seeded RNG are the only admissible sources.
+  void CheckWallClock(const std::string& line, int ln) {
+    static constexpr const char* kBannedWords[] = {
+        "system_clock",     "steady_clock", "high_resolution_clock",
+        "random_device",    "gettimeofday", "clock_gettime",
+        "timespec_get",     "mt19937",      "mt19937_64",
+        "default_random_engine",
+    };
+    for (const char* word : kBannedWords) {
+      if (FindWord(line, word) != std::string_view::npos) {
+        Report("SL001", "clock-ok", ln,
+               std::string("banned ambient time/entropy source '") + word +
+                   "'",
+               "use sim.Now() for time and the simulator's seeded "
+               "rlsim::Rng for randomness");
+      }
+    }
+    // rand(/srand(/time( need the call parenthesis to avoid flagging
+    // identifiers like `operand` or members named `time`.
+    for (const char* fn : {"rand", "srand", "time", "clock"}) {
+      size_t pos = FindWord(line, fn);
+      while (pos != std::string_view::npos) {
+        size_t after = pos + std::string_view(fn).size();
+        while (after < line.size() && line[after] == ' ') ++after;
+        // `.time(` / `->time(` are member calls (e.g. on a config struct),
+        // not libc; only flag the free function.
+        const bool member_call =
+            pos >= 1 && (line[pos - 1] == '.' ||
+                         (pos >= 2 && line[pos - 2] == '-' &&
+                          line[pos - 1] == '>') ||
+                         line[pos - 1] == ':');
+        if (after < line.size() && line[after] == '(' && !member_call) {
+          Report("SL001", "clock-ok", ln,
+                 std::string("banned libc time/entropy call '") + fn + "('",
+                 "derive values from the simulator clock or seeded Rng");
+        }
+        pos = FindWord(line, fn, pos + 1);
+      }
+    }
+  }
+
+  // SL002: getenv and mutable static state in the core directories. Both
+  // make an episode's behaviour depend on the process, not the seed.
+  void CheckAmbientState(const std::string& line, int ln) {
+    if (!InAmbientBanDirs(file_.path)) return;
+    if (FindWord(line, "getenv") != std::string_view::npos) {
+      Report("SL002", "env-ok", ln,
+             "getenv reads ambient process state inside the deterministic "
+             "core",
+             "thread the knob through an options struct / CLI flag instead");
+    }
+    // A `static` (or thread_local) definition that is not const/constexpr
+    // and is a variable, not a function: variables have `=`, `{` or `;`
+    // before any parameter list.
+    std::string_view code = TrimView(line);
+    const bool is_static = code.substr(0, 7) == "static " ||
+                           code.substr(0, 13) == "thread_local ";
+    if (!is_static) return;
+    code.remove_prefix(code.find(' ') + 1);
+    code = TrimView(code);
+    if (code.substr(0, 6) == "const " || code.substr(0, 10) == "constexpr " ||
+        code.substr(0, 10) == "constinit ") {
+      return;
+    }
+    // Distinguish `static int hits = 0;` from `static int Hits();`: find the
+    // first of '(', '=', ';', '{' outside template angles.
+    size_t i = 0;
+    char first = 0;
+    while (i < code.size()) {
+      const char c = code[i];
+      if (c == '<') {
+        const size_t skip = SkipAngles(code, i);
+        if (skip == std::string_view::npos) break;
+        i = skip;
+        continue;
+      }
+      if (c == '(' || c == '=' || c == ';' || c == '{') {
+        first = c;
+        break;
+      }
+      ++i;
+    }
+    if (first != 0 && first != '(') {
+      Report("SL002", "static-ok", ln,
+             "mutable static state in the deterministic core survives "
+             "across episodes",
+             "make it const/constexpr, or move it into a per-episode object");
+    }
+  }
+
+  // SL003: iteration over unordered containers. Iteration order is
+  // implementation-defined; even when libstdc++ happens to be stable, the
+  // order depends on insertion history and rehash points — never let it
+  // reach event ordering. Fix: rlsim::SortedKeys (src/sim/ordered.h) or a
+  // `// simlint: ordered-ok (<why order cannot matter>)` pragma.
+  void CheckUnorderedIteration(const std::string& line, int ln) {
+    if (!InSrc(file_.path)) return;
+    // Range-for: `for (decl : expr)`.
+    const size_t forPos = FindWord(line, "for");
+    if (forPos != std::string_view::npos) {
+      const size_t open = line.find('(', forPos);
+      const size_t colon = line.find(':', forPos);
+      if (open != std::string_view::npos && colon != std::string_view::npos &&
+          colon > open && line.compare(colon - 1, 2, "::") != 0 &&
+          (colon + 1 >= line.size() || line[colon + 1] != ':')) {
+        const size_t close = line.rfind(')');
+        const std::string_view expr =
+            close != std::string_view::npos && close > colon
+                ? std::string_view(line).substr(colon + 1, close - colon - 1)
+                : std::string_view(line).substr(colon + 1);
+        MaybeFlagUnordered(TailIdentifier(expr), ln, "range-for");
+      }
+    }
+    // Iterator loops / explicit traversal: name.begin(), name.cbegin().
+    for (const char* probe : {".begin()", ".cbegin()"}) {
+      const size_t pos = line.find(probe);
+      if (pos != std::string_view::npos) {
+        MaybeFlagUnordered(
+            TailIdentifier(std::string_view(line).substr(0, pos)), ln,
+            "iterator traversal");
+      }
+    }
+  }
+
+  void MaybeFlagUnordered(std::string_view name, int ln, const char* how) {
+    if (name.empty()) return;
+    const std::string key(name);
+    std::string declared_at;
+    if (auto it = local_unordered_.find(key); it != local_unordered_.end()) {
+      declared_at = it->second;
+    } else if (auto jt = index_.unordered_members.find(key);
+               jt != index_.unordered_members.end() && key.back() == '_') {
+      declared_at = jt->second;
+    } else {
+      return;
+    }
+    Report("SL003", "ordered-ok", ln,
+           std::string(how) + " over unordered container '" + key +
+               "' (declared at " + declared_at +
+               "); iteration order is not deterministic",
+           "iterate rlsim::SortedKeys(" + key +
+               ") from src/sim/ordered.h, or add `// simlint: ordered-ok "
+               "(<why order cannot matter>)`");
+  }
+
+  // SL004: pointer-keyed ordered containers. std::map<T*, V> / std::set<T*>
+  // order by address, and addresses differ run to run.
+  void CheckPointerOrdering(const std::string& line, int ln) {
+    if (!InSrc(file_.path)) return;
+    for (const char* cont : {"map", "multimap", "set", "multiset", "less",
+                             "greater", "priority_queue"}) {
+      size_t pos = FindWord(line, cont);
+      while (pos != std::string_view::npos) {
+        const size_t open = pos + std::string_view(cont).size();
+        if (open < line.size() && line[open] == '<') {
+          // First template argument (the key / compared type).
+          std::string_view arg = FirstTemplateArg(line, open);
+          if (arg.find('*') != std::string_view::npos &&
+              arg.find("char") == std::string_view::npos) {
+            Report("SL004", "ptr-ok", ln,
+                   std::string("'") + cont +
+                       "' ordered by pointer key '" + std::string(arg) +
+                       "': address order differs between runs",
+                   "key by a stable id (name, index, sequence number) and "
+                   "look the object up, or supply a by-value comparator");
+          }
+        }
+        pos = FindWord(line, cont, pos + 1);
+      }
+    }
+  }
+
+  static std::string_view FirstTemplateArg(std::string_view line,
+                                           size_t open) {
+    int depth = 0;
+    size_t start = open + 1;
+    for (size_t i = open; i < line.size(); ++i) {
+      const char c = line[i];
+      if (c == '<') ++depth;
+      if (c == '>') {
+        --depth;
+        if (depth == 0) return TrimView(line.substr(start, i - start));
+      }
+      if (c == ',' && depth == 1) {
+        return TrimView(line.substr(start, i - start));
+      }
+    }
+    return TrimView(line.substr(start));
+  }
+
+  // SL005: raw new/delete. The simulator's components own memory through
+  // unique_ptr/containers; a raw owning pointer is a leak or double-free
+  // waiting for a fault-injection path to find it.
+  void CheckRawNewDelete(const std::string& line, int ln) {
+    if (!InSrc(file_.path) && !InBench(file_.path)) return;
+    size_t pos = FindWord(line, "new");
+    while (pos != std::string_view::npos) {
+      // `operator new` overloads are the arena implementation itself.
+      const std::string_view before = TrimView(
+          std::string_view(line).substr(0, pos));
+      const bool is_operator =
+          before.size() >= 8 && before.substr(before.size() - 8) == "operator";
+      if (!is_operator) {
+        Report("SL005", "new-ok", ln,
+               "raw 'new' outside arena/device code",
+               "use std::make_unique / a container; for private-constructor "
+               "factories add `// simlint: new-ok (immediately owned)`");
+      }
+      pos = FindWord(line, "new", pos + 1);
+    }
+    pos = FindWord(line, "delete");
+    while (pos != std::string_view::npos) {
+      const std::string_view before =
+          TrimView(std::string_view(line).substr(0, pos));
+      const bool deleted_fn =
+          !before.empty() && before.back() == '=';  // `= delete;`
+      const bool is_operator =
+          before.size() >= 8 && before.substr(before.size() - 8) == "operator";
+      if (!deleted_fn && !is_operator) {
+        Report("SL005", "new-ok", ln, "raw 'delete' outside arena/device code",
+               "let unique_ptr/containers own the object");
+      }
+      pos = FindWord(line, "delete", pos + 1);
+    }
+  }
+
+  // SL006: running += on a float/double accumulator. Floating addition is
+  // not associative; once the sum dwarfs the addend, low bits silently drop
+  // and the result depends on accumulation order. Fix: integer units (ns,
+  // bytes), or Kahan compensation (see Histogram::AddSquares).
+  void CheckFloatAccumulation(const std::string& line, int ln) {
+    if (!InSrc(file_.path)) return;
+    for (const char* op : {"+=", "-="}) {
+      size_t pos = line.find(op);
+      while (pos != std::string_view::npos) {
+        const std::string_view target =
+            TailIdentifier(std::string_view(line).substr(0, pos));
+        if (!target.empty() &&
+            float_vars_.count(std::string(target)) != 0) {
+          Report("SL006", "float-ok", ln,
+                 "running '" + std::string(op) + "' on float accumulator '" +
+                     std::string(target) +
+                     "': result depends on accumulation order",
+                 "accumulate in integer units, or use Kahan compensation "
+                 "(see rlsim::Histogram::AddSquares)");
+        }
+        pos = line.find(op, pos + 1);
+      }
+    }
+  }
+
+  // Per-file declaration scan feeding SL003 (any unordered name declared in
+  // this file, locals included) and SL006 (float/double variables).
+  void CollectLocalDeclarations() {
+    for (size_t i = 0; i < file_.code.size(); ++i) {
+      const std::string& line = file_.code[i];
+      for (const char* cont :
+           {"unordered_map", "unordered_set", "unordered_multimap",
+            "unordered_multiset"}) {
+        size_t pos = FindWord(line, cont);
+        if (pos == std::string_view::npos) continue;
+        const size_t open = pos + std::string_view(cont).size();
+        if (open >= line.size() || line[open] != '<') continue;
+        const size_t after = SkipAngles(line, open);
+        if (after == std::string_view::npos) continue;
+        // `unordered_map<K, V> name` — skip references/pointers to get the
+        // declared identifier.
+        size_t p = after;
+        while (p < line.size() &&
+               (line[p] == ' ' || line[p] == '&' || line[p] == '*')) {
+          ++p;
+        }
+        size_t end = p;
+        while (end < line.size() && IsIdentChar(line[end])) ++end;
+        if (end > p) {
+          local_unordered_[line.substr(p, end - p)] =
+              file_.path + ":" + std::to_string(i + 1);
+        }
+      }
+      for (const char* type : {"double", "float"}) {
+        size_t pos = FindWord(line, type);
+        while (pos != std::string_view::npos) {
+          size_t p = pos + std::string_view(type).size();
+          while (p < line.size() && line[p] == ' ') ++p;
+          size_t end = p;
+          while (end < line.size() && IsIdentChar(line[end])) ++end;
+          // Declaration, not a cast or return type of a call: the name must
+          // be followed by `=`, `;` or `{`.
+          size_t q = end;
+          while (q < line.size() && line[q] == ' ') ++q;
+          if (end > p && q < line.size() &&
+              (line[q] == '=' || line[q] == ';' || line[q] == '{')) {
+            float_vars_.insert(line.substr(p, end - p));
+          }
+          pos = FindWord(line, type, pos + 1);
+        }
+      }
+    }
+  }
+
+  // Apply pragma suppression (same line or line above) and produce final
+  // findings with normalized-line CRCs.
+  std::vector<Finding> Resolve() {
+    std::vector<Finding> out;
+    for (const PendingFinding& p : pending_) {
+      if (Suppressed(p.line, p.tag)) continue;
+      Finding f;
+      f.rule = p.rule;
+      f.severity = SeverityFor(p.rule);
+      f.file = file_.path;
+      f.line = p.line;
+      f.message = p.message;
+      f.hint = p.hint;
+      f.crc = NormalizedCrc(file_.code[p.line - 1], &f.normalized);
+      out.push_back(std::move(f));
+    }
+    std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+      if (a.line != b.line) return a.line < b.line;
+      return a.rule < b.rule;
+    });
+    return out;
+  }
+
+  // A pragma suppresses findings on its own line and on the first code line
+  // below it: the check walks upward from the finding through the contiguous
+  // comment-only block, so a multi-line justification comment works.
+  bool Suppressed(int line, std::string_view tag) const {
+    for (int ln = line; ln >= 1; --ln) {
+      if (ln <= static_cast<int>(file_.pragmas.size())) {
+        for (const std::string& t : file_.pragmas[ln - 1]) {
+          if (t == tag) return true;
+        }
+      }
+      if (ln == line) continue;  // always step to the line above the finding
+      // Keep walking only while the line is comment-only (stripped code is
+      // blank but the raw line is not).
+      const std::string_view code = TrimView(file_.code[ln - 1]);
+      const std::string_view raw = TrimView(file_.raw[ln - 1]);
+      if (!code.empty() || raw.empty()) break;
+    }
+    return false;
+  }
+
+  const SourceFile& file_;
+  const ProjectIndex& index_;
+  std::map<std::string, std::string> local_unordered_;  // name -> file:line
+  std::vector<PendingFinding> pending_;
+  std::set<std::string> float_vars_;
+};
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"SL001", "wall-clock-or-entropy", "error",
+       "ambient time/randomness source (system_clock, rand, random_device, "
+       "time(), ...) outside the simulator clock/Rng"},
+      {"SL002", "ambient-state", "error",
+       "getenv or mutable static state in src/sim, src/rapilog, src/faults"},
+      {"SL003", "unordered-iteration", "error",
+       "iteration over an unordered_{map,set} member in src/ without a "
+       "sorted snapshot"},
+      {"SL004", "pointer-ordering", "error",
+       "ordered container or comparator keyed by pointer value"},
+      {"SL005", "raw-new-delete", "warning",
+       "raw new/delete outside arena/device code"},
+      {"SL006", "float-accumulation", "warning",
+       "+=/-= on a float/double accumulator without Kahan or integer units"},
+  };
+  return kRules;
+}
+
+SourceFile StripSource(std::string path, std::string_view contents) {
+  SourceFile out;
+  out.path = std::move(path);
+
+  // Split into raw lines first (keeps \r out of the code view).
+  size_t start = 0;
+  while (start <= contents.size()) {
+    size_t nl = contents.find('\n', start);
+    if (nl == std::string_view::npos) {
+      if (start < contents.size()) {
+        out.raw.emplace_back(contents.substr(start));
+      }
+      break;
+    }
+    std::string_view line = contents.substr(start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    out.raw.emplace_back(line);
+    start = nl + 1;
+  }
+
+  // Lexical pass: blank comment and literal contents, carrying block-comment
+  // state across lines. Pragmas are harvested from comment text.
+  bool in_block_comment = false;
+  for (const std::string& rawline : out.raw) {
+    std::string code;
+    code.reserve(rawline.size());
+    std::vector<std::string> tags;
+    std::string comment_text;
+    for (size_t i = 0; i < rawline.size();) {
+      const char c = rawline[i];
+      if (in_block_comment) {
+        if (c == '*' && i + 1 < rawline.size() && rawline[i + 1] == '/') {
+          in_block_comment = false;
+          i += 2;
+        } else {
+          comment_text.push_back(c);
+          ++i;
+        }
+        continue;
+      }
+      if (c == '/' && i + 1 < rawline.size() && rawline[i + 1] == '/') {
+        comment_text.append(rawline.substr(i + 2));
+        break;  // rest of line is comment
+      }
+      if (c == '/' && i + 1 < rawline.size() && rawline[i + 1] == '*') {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      if (c == 'R' && i + 1 < rawline.size() && rawline[i + 1] == '"') {
+        // Raw string literal: skip to the closing )delim" — for the common
+        // single-line case; multi-line raw strings blank to end of line and
+        // the next lines are handled as code (acceptable for this repo).
+        const size_t open_paren = rawline.find('(', i + 2);
+        if (open_paren != std::string::npos) {
+          const std::string delim =
+              ")" + rawline.substr(i + 2, open_paren - (i + 2)) + "\"";
+          const size_t close = rawline.find(delim, open_paren);
+          code.append("\"\"");
+          if (close != std::string::npos) {
+            i = close + delim.size();
+          } else {
+            i = rawline.size();
+          }
+          continue;
+        }
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        code.push_back(quote);
+        ++i;
+        while (i < rawline.size()) {
+          if (rawline[i] == '\\') {
+            i += 2;
+            continue;
+          }
+          if (rawline[i] == quote) {
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        code.push_back(quote);
+        continue;
+      }
+      code.push_back(c);
+      ++i;
+    }
+    // Harvest `simlint: tag1 tag2` from the comment text.
+    const size_t mark = comment_text.find("simlint:");
+    if (mark != std::string::npos) {
+      size_t p = mark + 8;
+      while (p < comment_text.size()) {
+        while (p < comment_text.size() &&
+               (comment_text[p] == ' ' || comment_text[p] == ',')) {
+          ++p;
+        }
+        size_t end = p;
+        while (end < comment_text.size() &&
+               (std::isalnum(static_cast<unsigned char>(comment_text[end])) !=
+                    0 ||
+                comment_text[end] == '-')) {
+          ++end;
+        }
+        if (end == p) break;
+        tags.push_back(comment_text.substr(p, end - p));
+        p = end;
+        // Tags stop at the parenthesized justification.
+        if (p < comment_text.size() && comment_text[p] == '(') break;
+      }
+    }
+    out.code.push_back(std::move(code));
+    out.pragmas.push_back(std::move(tags));
+  }
+  return out;
+}
+
+void ProjectIndex::AddFile(const SourceFile& file) {
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    for (const char* cont :
+         {"unordered_map", "unordered_set", "unordered_multimap",
+          "unordered_multiset"}) {
+      size_t pos = FindWord(line, cont);
+      if (pos == std::string_view::npos) continue;
+      const size_t open = pos + std::string_view(cont).size();
+      if (open >= line.size() || line[open] != '<') continue;
+      const size_t after = SkipAngles(line, open);
+      if (after == std::string_view::npos) continue;
+      size_t p = after;
+      while (p < line.size() &&
+             (line[p] == ' ' || line[p] == '&' || line[p] == '*')) {
+        ++p;
+      }
+      size_t end = p;
+      while (end < line.size() && IsIdentChar(line[end])) ++end;
+      // Only `name_`-suffixed identifiers go into the cross-file index:
+      // that is the repo's member naming convention, and indexing plain
+      // locals globally would flag unrelated same-named variables.
+      if (end > p && line[end - 1] == '_') {
+        unordered_members[line.substr(p, end - p)] =
+            file.path + ":" + std::to_string(i + 1);
+      }
+    }
+  }
+}
+
+std::vector<Finding> LintFile(const SourceFile& file,
+                              const ProjectIndex& index) {
+  return Linter(file, index).Run();
+}
+
+std::vector<Finding> LintSource(std::string path, std::string_view contents) {
+  SourceFile file = StripSource(std::move(path), contents);
+  ProjectIndex index;
+  index.AddFile(file);
+  return LintFile(file, index);
+}
+
+uint32_t NormalizedCrc(std::string_view stripped_line,
+                       std::string* normalized_out) {
+  std::string norm;
+  norm.reserve(stripped_line.size());
+  bool pending_space = false;
+  for (char c : stripped_line) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      pending_space = !norm.empty();
+      continue;
+    }
+    if (pending_space) {
+      norm.push_back(' ');
+      pending_space = false;
+    }
+    norm.push_back(c);
+  }
+  const uint32_t crc = rlsim::Crc32c(
+      {reinterpret_cast<const uint8_t*>(norm.data()), norm.size()});
+  if (normalized_out != nullptr) *normalized_out = std::move(norm);
+  return crc;
+}
+
+// --- Baseline -------------------------------------------------------------
+
+namespace {
+
+std::string BaselineKey(std::string_view rule, std::string_view file,
+                        uint32_t crc) {
+  char key[512];
+  std::snprintf(key, sizeof(key), "%.*s %.*s %08x",
+                static_cast<int>(rule.size()), rule.data(),
+                static_cast<int>(file.size()), file.data(), crc);
+  return key;
+}
+
+std::string SerializeCounts(const std::map<std::string, int>& counts) {
+  std::string out =
+      "# simlint baseline v1: rule path line-crc count\n"
+      "# Regenerate with: simlint --write-baseline <this file> <paths>\n";
+  for (const auto& [key, count] : counts) {
+    out += key;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SerializeBaseline(const std::vector<Finding>& findings) {
+  std::map<std::string, int> counts;
+  for (const Finding& f : findings) {
+    ++counts[BaselineKey(f.rule, f.file, f.crc)];
+  }
+  return SerializeCounts(counts);
+}
+
+std::string SerializeBaseline(const std::vector<BaselineEntry>& entries) {
+  std::map<std::string, int> counts;
+  for (const BaselineEntry& e : entries) {
+    counts[BaselineKey(e.rule, e.file, e.crc)] += e.count;
+  }
+  return SerializeCounts(counts);
+}
+
+bool ParseBaseline(std::string_view text, std::vector<BaselineEntry>* out,
+                   std::string* error) {
+  out->clear();
+  int lineno = 0;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) nl = text.size();
+    const std::string line(TrimView(text.substr(start, nl - start)));
+    start = nl + 1;
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    BaselineEntry e;
+    char rule[32], path[400];
+    unsigned crc = 0;
+    if (std::sscanf(line.c_str(), "%31s %399s %8x %d", rule, path, &crc,
+                    &e.count) != 4) {
+      if (error != nullptr) {
+        *error = "baseline line " + std::to_string(lineno) +
+                 ": expected 'rule path crc count', got: " + line;
+      }
+      return false;
+    }
+    e.rule = rule;
+    e.file = path;
+    e.crc = crc;
+    out->push_back(std::move(e));
+  }
+  return true;
+}
+
+std::vector<Finding> ApplyBaseline(
+    std::vector<Finding> findings, const std::vector<BaselineEntry>& baseline) {
+  std::map<std::string, int> budget;
+  for (const BaselineEntry& e : baseline) {
+    budget[BaselineKey(e.rule, e.file, e.crc)] += e.count;
+  }
+  std::vector<Finding> fresh;
+  for (Finding& f : findings) {
+    const std::string key = BaselineKey(f.rule, f.file, f.crc);
+    auto it = budget.find(key);
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    fresh.push_back(std::move(f));
+  }
+  return fresh;
+}
+
+// --- Output ---------------------------------------------------------------
+
+std::string FormatText(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+           f.severity + ": " + f.message + "\n";
+    if (!f.hint.empty()) {
+      out += "    fix: " + f.hint + "\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string FormatJson(const std::vector<Finding>& findings) {
+  std::string out = "{\"findings\":[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) out += ",";
+    char crcbuf[16];
+    std::snprintf(crcbuf, sizeof(crcbuf), "%08x", f.crc);
+    out += "{\"rule\":\"" + JsonEscape(f.rule) + "\",\"severity\":\"" +
+           JsonEscape(f.severity) + "\",\"file\":\"" + JsonEscape(f.file) +
+           "\",\"line\":" + std::to_string(f.line) + ",\"message\":\"" +
+           JsonEscape(f.message) + "\",\"hint\":\"" + JsonEscape(f.hint) +
+           "\",\"crc\":\"" + crcbuf + "\"}";
+  }
+  out += "],\"total\":" + std::to_string(findings.size()) + "}\n";
+  return out;
+}
+
+std::string FormatGithub(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += std::string("::") + (f.severity == "error" ? "error" : "warning") +
+           " file=" + f.file + ",line=" + std::to_string(f.line) +
+           ",title=simlint " + f.rule + "::" + f.message + " — " + f.hint +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace simlint

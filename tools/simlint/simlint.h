@@ -1,0 +1,121 @@
+// simlint: a determinism linter for this repository.
+//
+// The simulator's whole value proposition is "same seed, same execution".
+// That property is easy to break from far away: one range-for over an
+// unordered_map whose iteration order feeds an event timestamp, one
+// std::chrono::steady_clock deadline in a driver loop, one getenv that makes
+// CI behave differently from a laptop. simlint is a token/regex + context
+// scanner (deliberately not libclang: it must build in seconds on a bare
+// toolchain and run on a single file in a test) that enforces the
+// determinism discipline documented in DESIGN.md.
+//
+// Rules:
+//   SL001 wall-clock-or-entropy   banned ambient time/randomness sources
+//   SL002 ambient-state           getenv / mutable static state in core dirs
+//   SL003 unordered-iteration     iterating unordered_{map,set} members
+//   SL004 pointer-ordering        pointer-keyed ordered containers
+//   SL005 raw-new-delete          raw new/delete outside arena/device code
+//   SL006 float-accumulation      += on float/double accumulators
+//
+// Suppression: a `// simlint: <tag>` comment on the finding's line or the
+// line directly above it, with tag one of clock-ok, env-ok, static-ok,
+// ordered-ok, ptr-ok, new-ok, float-ok. Pragmas are expected to carry a
+// short justification in parentheses; the linter does not parse it, humans
+// read it in review.
+//
+// Baselines: `--write-baseline` serializes current findings keyed by
+// (rule, file, CRC32 of the normalized source line) — robust to line-number
+// drift — and `--baseline` subtracts them, so CI fails only on NEW findings.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simlint {
+
+struct Finding {
+  std::string rule;      // "SL003"
+  std::string severity;  // "error" | "warning"
+  std::string file;
+  int line = 0;  // 1-based
+  std::string message;
+  std::string hint;        // fix-it suggestion
+  uint32_t crc = 0;        // CRC32 of the normalized source line
+  std::string normalized;  // whitespace-collapsed, comment/string-stripped
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* name;
+  const char* severity;
+  const char* summary;
+};
+
+// The full rule table, in id order.
+const std::vector<RuleInfo>& Rules();
+
+// A source file after lexical preprocessing. `code[i]` is line i with
+// comments and string/char literal *contents* blanked (quotes preserved), so
+// rules never fire on prose or on fixture snippets embedded in test
+// strings. `pragmas[i]` holds the `simlint:` tags found on line i.
+struct SourceFile {
+  std::string path;
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+  std::vector<std::vector<std::string>> pragmas;
+};
+
+SourceFile StripSource(std::string path, std::string_view contents);
+
+// Cross-file context: member declarations of unordered containers (names
+// ending in `_`), collected from every scanned file so a loop in foo.cc over
+// a member declared in foo.h is still caught.
+struct ProjectIndex {
+  // container name -> "file:line" of the declaration
+  std::map<std::string, std::string> unordered_members;
+
+  void AddFile(const SourceFile& file);
+};
+
+// Lints one preprocessed file. Findings come back sorted by line.
+std::vector<Finding> LintFile(const SourceFile& file,
+                              const ProjectIndex& index);
+
+// Convenience for tests and single-snippet scans: strip + self-index + lint.
+std::vector<Finding> LintSource(std::string path, std::string_view contents);
+
+// --- Baseline -------------------------------------------------------------
+
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  uint32_t crc = 0;
+  int count = 0;  // findings sharing this (rule, file, crc) key
+};
+
+// Deterministic text form (sorted by rule, file, crc). Parse(Serialize(x))
+// then Serialize again is byte-identical.
+std::string SerializeBaseline(const std::vector<Finding>& findings);
+std::string SerializeBaseline(const std::vector<BaselineEntry>& entries);
+bool ParseBaseline(std::string_view text, std::vector<BaselineEntry>* out,
+                   std::string* error);
+// Removes findings covered by the baseline (each entry suppresses up to
+// `count` findings with the same key). Leftover findings are "new".
+std::vector<Finding> ApplyBaseline(std::vector<Finding> findings,
+                                   const std::vector<BaselineEntry>& baseline);
+
+// --- Output ---------------------------------------------------------------
+
+std::string FormatText(const std::vector<Finding>& findings);
+std::string FormatJson(const std::vector<Finding>& findings);
+// GitHub Actions workflow-command annotations (::error file=...).
+std::string FormatGithub(const std::vector<Finding>& findings);
+
+// CRC32 (Castagnoli, via src/sim/crc32) of the whitespace-normalized line.
+uint32_t NormalizedCrc(std::string_view stripped_line,
+                       std::string* normalized_out = nullptr);
+
+}  // namespace simlint
