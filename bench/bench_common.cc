@@ -1,5 +1,10 @@
 #include "bench/bench_common.h"
 
+#include <algorithm>
+#include <fstream>
+
+#include "src/harness/parallel_runner.h"
+
 namespace rlbench {
 
 using rlsim::Duration;
@@ -72,6 +77,73 @@ RunResult RunTpcc(const TpccRunConfig& config) {
 
   sim.Run();
   return result;
+}
+
+std::vector<RunResult> RunTpccMany(const std::vector<TpccRunConfig>& configs,
+                                   int jobs) {
+  return rlharness::RunJobs<RunResult>(
+      jobs, configs.size(), [&configs](size_t i) {
+        return RunTpcc(configs[i]);
+      });
+}
+
+void Table::Row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print() {
+  std::vector<size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) {
+      widths.resize(row.size(), 0);
+    }
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      // No padding after the last cell: keeps lines free of trailing blanks.
+      if (c + 1 == row.size()) {
+        std::printf("%s", row[c].c_str());
+      } else {
+        std::printf("%-*s", static_cast<int>(widths[c]) + 2, row[c].c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  rows_.clear();
+}
+
+void BenchJsonWriter::Add(const std::string& name, double value,
+                          const std::string& unit) {
+  metrics_.push_back(Metric{name, value, unit});
+}
+
+std::string BenchJsonWriter::ToString() const {
+  std::string out = "{\"metrics\":[";
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    const Metric& m = metrics_[i];
+    if (i > 0) {
+      out += ",";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", m.value);
+    out += "{\"name\":\"" + m.name + "\",\"value\":" + buf + ",\"unit\":\"" +
+           m.unit + "\"}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool BenchJsonWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << ToString();
+  return true;
 }
 
 }  // namespace rlbench

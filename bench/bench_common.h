@@ -40,6 +40,13 @@ struct TpccRunConfig {
 // (warmup excluded by resetting the counters).
 RunResult RunTpcc(const TpccRunConfig& config);
 
+// Runs every config as an independent job across `jobs` worker threads
+// (src/harness/parallel_runner); results[i] corresponds to configs[i], so a
+// sweep printed from the returned vector is byte-identical at any job
+// count. Each cell builds its own Simulator/Testbed; nothing is shared.
+std::vector<RunResult> RunTpccMany(const std::vector<TpccRunConfig>& configs,
+                                   int jobs);
+
 // Standard testbed options used across experiments.
 rlharness::TestbedOptions DefaultTestbed(rlharness::DeploymentMode mode,
                                          rlharness::DiskSetup disks,
@@ -54,12 +61,19 @@ inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
 
-inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
-  for (const auto& cell : cells) {
-    std::printf("%-*s", width, cell.c_str());
-  }
-  std::printf("\n");
-}
+// Buffered table whose columns are sized to their widest cell (+2 gap), so
+// long values (big throughput numbers, duration strings) never spill out of
+// a hardcoded column width and break alignment. All bench tables route
+// through this.
+class Table {
+ public:
+  void Row(std::vector<std::string> cells);
+  // Renders every buffered row to stdout and clears the table.
+  void Print();
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
 
 inline std::string Fmt(double v, const char* fmt = "%.1f") {
   char buf[64];
@@ -68,5 +82,27 @@ inline std::string Fmt(double v, const char* fmt = "%.1f") {
 }
 
 inline std::string FmtDur(rlsim::Duration d) { return rlsim::ToString(d); }
+
+// --- Machine-readable bench output -------------------------------------------
+
+// Collects named metrics and writes them as JSON (insertion order preserved,
+// so output is deterministic): {"metrics":[{"name":...,"value":...,
+// "unit":...},...]}. Used by bench_micro --json to produce BENCH_perf.json,
+// the perf baseline later PRs are judged against.
+class BenchJsonWriter {
+ public:
+  void Add(const std::string& name, double value, const std::string& unit);
+  std::string ToString() const;
+  // Returns false (and prints to stderr) if the file cannot be written.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  struct Metric {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+  std::vector<Metric> metrics_;
+};
 
 }  // namespace rlbench

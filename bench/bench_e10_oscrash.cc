@@ -13,7 +13,7 @@ namespace {
 
 using rlbench::Fmt;
 using rlbench::PrintHeader;
-using rlbench::PrintRow;
+using rlbench::Table;
 using rlharness::DeploymentMode;
 using rlharness::DiskSetup;
 using rlsim::Duration;
@@ -71,11 +71,13 @@ int main(int argc, char** argv) {
   sim.Run();
 
   PrintHeader("E10: guest-OS crash campaign under RapiLog");
-  PrintRow({"trials", "checked", "lost", "bad-trials", "drained-post-crash"});
-  PrintRow({Fmt(trials, "%.0f"), Fmt(total_checked, "%.0f"),
-            Fmt(total_lost, "%.0f"), Fmt(bad_trials, "%.0f"),
-            Fmt(static_cast<double>(drained_after_crash) / 1024.0,
-                "%.0f KiB")});
+  Table table;
+  table.Row({"trials", "checked", "lost", "bad-trials", "drained-post-crash"});
+  table.Row({Fmt(trials, "%.0f"), Fmt(total_checked, "%.0f"),
+             Fmt(total_lost, "%.0f"), Fmt(bad_trials, "%.0f"),
+             Fmt(static_cast<double>(drained_after_crash) / 1024.0,
+                 "%.0f KiB")});
+  table.Print();
   std::printf(
       "\nExpected shape: zero lost transactions in every trial; the "
       "post-crash drain count\nshows buffered data reaching the disk after "

@@ -25,7 +25,7 @@ namespace {
 using rlbench::Fmt;
 using rlbench::FmtDur;
 using rlbench::PrintHeader;
-using rlbench::PrintRow;
+using rlbench::Table;
 using rlharness::DeploymentMode;
 using rlharness::DiskSetup;
 using rlsim::Duration;
@@ -126,8 +126,9 @@ int main(int argc, char** argv) {
   PrintHeader("E11: replicated durability (3 replicas, majority = 2)");
   std::printf("seed=%llu; KV 80%% writes, 8 clients, native mode, SSD log\n",
               static_cast<unsigned long long>(seed));
-  PrintRow({"mode", "link(1-way)", "txn/s", "commit p50", "commit p95",
-            "lag p50", "lag max", "q-ack p50", "retrans"});
+  Table table;
+  table.Row({"mode", "link(1-way)", "txn/s", "commit p50", "commit p95",
+             "lag p50", "lag max", "q-ack p50", "retrans"});
 
   std::string appendix;
   for (const Duration link :
@@ -138,22 +139,23 @@ int main(int argc, char** argv) {
         continue;  // the no-replication baseline has no link to sweep
       }
       const E11Result r = RunArm(arm, link, seed);
-      PrintRow({ToString(arm), arm == Arm::kOff ? "-" : FmtDur(link),
-                Fmt(r.txns_per_sec, "%.0f"), FmtDur(r.commit_p50),
-                FmtDur(r.commit_p95),
-                arm == Arm::kOff ? "-" : Fmt(static_cast<double>(r.lag_p50),
-                                             "%.0f"),
-                arm == Arm::kOff ? "-" : Fmt(static_cast<double>(r.lag_max),
-                                             "%.0f"),
-                arm == Arm::kQuorum ? FmtDur(r.quorum_ack_p50) : "-",
-                arm == Arm::kOff ? "-"
-                                 : Fmt(static_cast<double>(r.retransmits),
-                                       "%.0f")});
+      table.Row({ToString(arm), arm == Arm::kOff ? "-" : FmtDur(link),
+                 Fmt(r.txns_per_sec, "%.0f"), FmtDur(r.commit_p50),
+                 FmtDur(r.commit_p95),
+                 arm == Arm::kOff ? "-" : Fmt(static_cast<double>(r.lag_p50),
+                                              "%.0f"),
+                 arm == Arm::kOff ? "-" : Fmt(static_cast<double>(r.lag_max),
+                                              "%.0f"),
+                 arm == Arm::kQuorum ? FmtDur(r.quorum_ack_p50) : "-",
+                 arm == Arm::kOff ? "-"
+                                  : Fmt(static_cast<double>(r.retransmits),
+                                        "%.0f")});
       if (arm == Arm::kQuorum && link == Duration::Millis(1)) {
         appendix = r.full_stats;
       }
     }
   }
+  table.Print();
 
   PrintHeader("E11 appendix: full stats registry (quorum-ack, 1 ms link)");
   std::printf("%s", appendix.c_str());

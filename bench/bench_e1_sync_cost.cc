@@ -15,7 +15,7 @@ namespace {
 using rlbench::Fmt;
 using rlbench::FmtDur;
 using rlbench::PrintHeader;
-using rlbench::PrintRow;
+using rlbench::Table;
 using rlharness::DeploymentMode;
 using rlharness::DiskSetup;
 using rlsim::Duration;
@@ -28,7 +28,7 @@ struct Arm {
   rldb::EngineProfile profile;
 };
 
-void RunArm(const Arm& arm) {
+void RunArm(const Arm& arm, Table& table) {
   Simulator sim(7);
   rlharness::TestbedOptions opts = rlbench::DefaultTestbed(
       arm.mode, DiskSetup::kSharedHdd, arm.profile);
@@ -59,7 +59,7 @@ void RunArm(const Arm& arm) {
   }(sim, bed, stress, stop, commits_per_sec, p50, p99));
   sim.Run();
 
-  PrintRow({arm.name, Fmt(commits_per_sec, "%.0f"), FmtDur(p50), FmtDur(p99)});
+  table.Row({arm.name, Fmt(commits_per_sec, "%.0f"), FmtDur(p50), FmtDur(p99)});
 }
 
 }  // namespace
@@ -68,16 +68,18 @@ int main() {
   PrintHeader(
       "E1: commit rate under different durability schemes "
       "(4 clients, tiny txns, single shared 7200rpm disk)");
-  PrintRow({"scheme", "commits/s", "p50", "p99"});
+  Table table;
+  table.Row({"scheme", "commits/s", "p50", "p99"});
 
   rldb::EngineProfile sync_pg = rldb::PostgresLikeProfile();
   rldb::EngineProfile group = rldb::PostgresLikeProfile();
   group.group_commit_window = rlsim::Duration::Millis(2);
 
-  RunArm({"sync", DeploymentMode::kNative, sync_pg});
-  RunArm({"group-commit", DeploymentMode::kNative, group});
-  RunArm({"async-unsafe", DeploymentMode::kUnsafeAsync, sync_pg});
-  RunArm({"rapilog", DeploymentMode::kRapiLog, sync_pg});
+  RunArm({"sync", DeploymentMode::kNative, sync_pg}, table);
+  RunArm({"group-commit", DeploymentMode::kNative, group}, table);
+  RunArm({"async-unsafe", DeploymentMode::kUnsafeAsync, sync_pg}, table);
+  RunArm({"rapilog", DeploymentMode::kRapiLog, sync_pg}, table);
+  table.Print();
 
   std::printf(
       "\nExpected shape: sync is bounded by disk rotation; group commit "

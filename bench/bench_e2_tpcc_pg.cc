@@ -1,7 +1,8 @@
 // E2 — TPC-C throughput vs multiprogramming level, PostgreSQL-like engine.
 #include "bench/bench_tpcc_sweep.h"
 
-int main() {
-  rlbench::RunTpccClientSweep("E2", rldb::PostgresLikeProfile());
+int main(int argc, char** argv) {
+  rlbench::RunTpccClientSweep("E2", rldb::PostgresLikeProfile(),
+                              rlbench::SweepJobsFromArgs(argc, argv));
   return 0;
 }

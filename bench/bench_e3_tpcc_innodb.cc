@@ -1,7 +1,8 @@
 // E3 — TPC-C throughput vs multiprogramming level, InnoDB-like engine.
 #include "bench/bench_tpcc_sweep.h"
 
-int main() {
-  rlbench::RunTpccClientSweep("E3", rldb::InnodbLikeProfile());
+int main(int argc, char** argv) {
+  rlbench::RunTpccClientSweep("E3", rldb::InnodbLikeProfile(),
+                              rlbench::SweepJobsFromArgs(argc, argv));
   return 0;
 }

@@ -1,7 +1,8 @@
 // E4 — TPC-C throughput vs multiprogramming level, commercial-like engine.
 #include "bench/bench_tpcc_sweep.h"
 
-int main() {
-  rlbench::RunTpccClientSweep("E4", rldb::CommercialLikeProfile());
+int main(int argc, char** argv) {
+  rlbench::RunTpccClientSweep("E4", rldb::CommercialLikeProfile(),
+                              rlbench::SweepJobsFromArgs(argc, argv));
   return 0;
 }

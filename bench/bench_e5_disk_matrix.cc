@@ -13,7 +13,7 @@ namespace {
 
 using rlbench::Fmt;
 using rlbench::PrintHeader;
-using rlbench::PrintRow;
+using rlbench::Table;
 using rlharness::DeploymentMode;
 using rlharness::DiskSetup;
 
@@ -41,7 +41,8 @@ int main() {
   PrintHeader(
       "E5: TPC-C-lite throughput (txns/s) by storage configuration, "
       "16 clients, pg-like");
-  PrintRow({"disks", "native", "virt", "rapilog", "rapi/virt"});
+  Table table;
+  table.Row({"disks", "native", "virt", "rapilog", "rapi/virt"});
 
   for (const auto& disk : disks) {
     std::vector<double> rates;
@@ -53,10 +54,11 @@ int main() {
       cfg.clients = 16;
       rates.push_back(rlbench::RunTpcc(cfg).txns_per_sec);
     }
-    PrintRow({disk.name, Fmt(rates[0], "%.0f"), Fmt(rates[1], "%.0f"),
-              Fmt(rates[2], "%.0f"),
-              Fmt(rates[1] > 0 ? rates[2] / rates[1] : 0, "%.2fx")});
+    table.Row({disk.name, Fmt(rates[0], "%.0f"), Fmt(rates[1], "%.0f"),
+               Fmt(rates[2], "%.0f"),
+               Fmt(rates[1] > 0 ? rates[2] / rates[1] : 0, "%.2fx")});
   }
+  table.Print();
   std::printf(
       "\nExpected shape: biggest rapilog win on the shared rotating disk; "
       "the win shrinks\nwith a dedicated log disk and mostly vanishes with "

@@ -13,7 +13,7 @@ namespace {
 
 using rlbench::Fmt;
 using rlbench::PrintHeader;
-using rlbench::PrintRow;
+using rlbench::Table;
 using rlharness::DeploymentMode;
 using rlharness::DiskSetup;
 using rlsim::Duration;
@@ -58,13 +58,15 @@ double RunArm(DeploymentMode mode) {
 int main() {
   PrintHeader("E6: CPU-bound read-only throughput (txns/s) — virtualisation "
               "overhead isolated");
-  PrintRow({"mode", "txns/s", "vs native"});
+  Table table;
+  table.Row({"mode", "txns/s", "vs native"});
   const double native = RunArm(DeploymentMode::kNative);
   const double virt = RunArm(DeploymentMode::kVirt);
   const double rapi = RunArm(DeploymentMode::kRapiLog);
-  PrintRow({"native", Fmt(native, "%.0f"), "1.00x"});
-  PrintRow({"virt", Fmt(virt, "%.0f"), Fmt(virt / native, "%.2fx")});
-  PrintRow({"rapilog", Fmt(rapi, "%.0f"), Fmt(rapi / native, "%.2fx")});
+  table.Row({"native", Fmt(native, "%.0f"), "1.00x"});
+  table.Row({"virt", Fmt(virt, "%.0f"), Fmt(virt / native, "%.2fx")});
+  table.Row({"rapilog", Fmt(rapi, "%.0f"), Fmt(rapi / native, "%.2fx")});
+  table.Print();
   std::printf(
       "\nExpected shape: virt within a few %% of native (the configured CPU "
       "overhead);\nrapilog == virt (it only touches the log path).\n");

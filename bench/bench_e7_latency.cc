@@ -11,7 +11,7 @@ namespace {
 
 using rlbench::FmtDur;
 using rlbench::PrintHeader;
-using rlbench::PrintRow;
+using rlbench::Table;
 using rlharness::DeploymentMode;
 using rlharness::DiskSetup;
 
@@ -30,7 +30,8 @@ int main() {
 
   PrintHeader("E7: TPC-C-lite transaction latency, 16 clients, shared HDD, "
               "pg-like");
-  PrintRow({"mode", "mean", "p50", "p95", "p99"});
+  Table table;
+  table.Row({"mode", "mean", "p50", "p95", "p99"});
   for (const auto& arm : arms) {
     rlbench::TpccRunConfig cfg;
     cfg.testbed = rlbench::DefaultTestbed(arm.mode, DiskSetup::kSharedHdd,
@@ -38,9 +39,10 @@ int main() {
     cfg.tpcc = rlbench::DefaultTpcc();
     cfg.clients = 16;
     const rlbench::RunResult result = rlbench::RunTpcc(cfg);
-    PrintRow({arm.name, FmtDur(result.mean), FmtDur(result.p50),
-              FmtDur(result.p95), FmtDur(result.p99)});
+    table.Row({arm.name, FmtDur(result.mean), FmtDur(result.p50),
+               FmtDur(result.p95), FmtDur(result.p99)});
   }
+  table.Print();
   std::printf(
       "\nExpected shape: native/virt medians sit above a rotational floor "
       "(~ms);\nrapilog collapses towards the unsafe lower bound.\n");

@@ -17,7 +17,7 @@ namespace {
 
 using rlbench::Fmt;
 using rlbench::PrintHeader;
-using rlbench::PrintRow;
+using rlbench::Table;
 using rlharness::DeploymentMode;
 using rlharness::DiskSetup;
 using rlsim::Duration;
@@ -116,10 +116,10 @@ CampaignResult RunCampaign(DeploymentMode mode, bool power_guard,
   return campaign;
 }
 
-void Report(const char* name, const CampaignResult& r) {
-  PrintRow({name, Fmt(r.trials, "%.0f"), Fmt(r.keys_checked, "%.0f"),
-            Fmt(r.lost_writes, "%.0f"), Fmt(r.atomicity_violations, "%.0f"),
-            Fmt(r.trials_with_loss, "%.0f")});
+void Report(Table& table, const char* name, const CampaignResult& r) {
+  table.Row({name, Fmt(r.trials, "%.0f"), Fmt(r.keys_checked, "%.0f"),
+             Fmt(r.lost_writes, "%.0f"), Fmt(r.atomicity_violations, "%.0f"),
+             Fmt(r.trials_with_loss, "%.0f")});
 }
 
 }  // namespace
@@ -132,17 +132,19 @@ int main(int argc, char** argv) {
     }
   }
   PrintHeader("E8: power-cut durability campaign (randomised cut instants)");
-  PrintRow({"config", "trials", "checked", "lost", "atomicity", "bad-trials"});
-  Report("rapilog",
+  Table table;
+  table.Row({"config", "trials", "checked", "lost", "atomicity", "bad-trials"});
+  Report(table, "rapilog",
          RunCampaign(DeploymentMode::kRapiLog, true, false, trials, 11));
-  Report("native-sync",
+  Report(table, "native-sync",
          RunCampaign(DeploymentMode::kNative, true, false, trials, 12));
-  Report("unsafe-async",
+  Report(table, "unsafe-async",
          RunCampaign(DeploymentMode::kUnsafeAsync, true, false, trials, 13));
-  Report("rapilog-noguard",
+  Report(table, "rapilog-noguard",
          RunCampaign(DeploymentMode::kRapiLog, false, false, trials, 14));
-  Report("rapilog-overbudget",
+  Report(table, "rapilog-overbudget",
          RunCampaign(DeploymentMode::kRapiLog, true, true, trials, 15));
+  table.Print();
   std::printf(
       "\nExpected shape: zero loss for rapilog and native-sync in every "
       "trial; unsafe-async\nloses acknowledged commits; the ablations "

@@ -15,7 +15,7 @@ namespace {
 using rlbench::Fmt;
 using rlbench::FmtDur;
 using rlbench::PrintHeader;
-using rlbench::PrintRow;
+using rlbench::Table;
 using rlharness::DeploymentMode;
 using rlharness::DiskSetup;
 using rlsim::Duration;
@@ -24,7 +24,8 @@ using rlsim::Duration;
 
 int main() {
   PrintHeader("E9a: admission budget vs electrical configuration");
-  PrintRow({"config", "window", "budget"});
+  Table table;
+  table.Row({"config", "window", "budget"});
   struct ElectricalArm {
     const char* name;
     double load_watts;
@@ -47,14 +48,15 @@ int main() {
                                                               1 << 20}},
         rlstor::MakeDefaultHdd());
     rapilog::RapiLogDevice dev(sim, supply, disk, rapilog::RapiLogOptions{});
-    PrintRow({arm.name, FmtDur(supply.GuaranteedWindowAfterWarning()),
-              Fmt(static_cast<double>(dev.max_buffer_bytes()) / 1024.0,
-                  "%.0f KiB")});
+    table.Row({arm.name, FmtDur(supply.GuaranteedWindowAfterWarning()),
+               Fmt(static_cast<double>(dev.max_buffer_bytes()) / 1024.0,
+                   "%.0f KiB")});
   }
+  table.Print();
 
   PrintHeader("E9b: TPC-C throughput vs RapiLog buffer cap (shared HDD, "
               "16 clients)");
-  PrintRow({"buffer-cap", "txns/s"});
+  table.Row({"buffer-cap", "txns/s"});
   for (const uint64_t cap_kib : {16, 64, 256, 1024, 4096}) {
     rlbench::TpccRunConfig cfg;
     cfg.testbed = rlbench::DefaultTestbed(DeploymentMode::kRapiLog,
@@ -64,9 +66,10 @@ int main() {
     cfg.tpcc = rlbench::DefaultTpcc();
     cfg.clients = 16;
     const rlbench::RunResult result = rlbench::RunTpcc(cfg);
-    PrintRow({Fmt(static_cast<double>(cap_kib), "%.0f KiB"),
-              Fmt(result.txns_per_sec, "%.0f")});
+    table.Row({Fmt(static_cast<double>(cap_kib), "%.0f KiB"),
+               Fmt(result.txns_per_sec, "%.0f")});
   }
+  table.Print();
   std::printf(
       "\nExpected shape: budget scales linearly with the window; throughput "
       "saturates at a\nmodest buffer size — well inside what a commodity PSU "

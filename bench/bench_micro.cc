@@ -1,10 +1,28 @@
 // Component microbenchmarks (google-benchmark): costs of the simulation
 // substrate itself — event dispatch, coroutine wakeups, RNG, CRC, histogram
 // recording, kernel IPC round-trips, B+-tree operations.
+//
+// `bench_micro --json FILE` bypasses google-benchmark and runs a small fixed
+// perf suite instead, writing BENCH_perf.json: CRC-32C throughput (slice-by-8
+// vs the table-driven reference), simulator event dispatch rate (pooled heap
+// vs a naive priority_queue<std::function> baseline), and chaos-campaign
+// wall-clock at --jobs 1 vs --jobs N. These are the numbers later PRs are
+// judged against; the suite also cross-checks that the parallel campaign
+// reproduces the sequential corpus hash.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <queue>
+#include <string>
+
+#include "bench/bench_common.h"
 #include "src/db/btree.h"
 #include "src/db/buffer_pool.h"
+#include "src/faults/chaos/chaos_explorer.h"
+#include "src/harness/parallel_runner.h"
 #include "src/microkernel/kernel.h"
 #include "src/sim/crc32.h"
 #include "src/sim/rng.h"
@@ -138,6 +156,170 @@ void BM_BTreePut(benchmark::State& state) {
 }
 BENCHMARK(BM_BTreePut);
 
+// --- Fixed perf suite (--json) ----------------------------------------------
+//
+// The suite measures real host time, which is exactly what the simulator
+// bans everywhere else; this binary is a host-side measurement tool, not
+// part of any simulation.
+
+// simlint: clock-ok (host-side perf measurement tool, outside the sim)
+using WallClock = std::chrono::steady_clock;
+
+double SecondsSince(WallClock::time_point t0) {
+  return std::chrono::duration<double>(WallClock::now() - t0).count();
+}
+
+// MiB/s of `crc` over a 1 MiB pseudo-random buffer, fixed iteration count so
+// both implementations see identical input.
+double CrcThroughputMibps(uint32_t (*crc)(std::span<const uint8_t>,
+                                          uint32_t)) {
+  constexpr size_t kBufBytes = 1 << 20;
+  constexpr int kWarmup = 4;
+  constexpr int kIters = 64;
+  std::vector<uint8_t> buf(kBufBytes);
+  rlsim::Rng rng(1);
+  for (uint8_t& b : buf) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  uint32_t sink = 0;
+  for (int i = 0; i < kWarmup; ++i) {
+    sink ^= crc(buf, sink);
+  }
+  const WallClock::time_point t0 = WallClock::now();
+  for (int i = 0; i < kIters; ++i) {
+    sink ^= crc(buf, sink);
+  }
+  const double secs = SecondsSince(t0);
+  benchmark::DoNotOptimize(sink);
+  return static_cast<double>(kIters) * kBufBytes / (1 << 20) / secs;
+}
+
+constexpr int kEventBatch = 1000;
+constexpr int kEventRounds = 200;
+
+// Events/sec through the simulator's pooled binary heap: the BM_EventSchedule
+// workload, timed directly.
+double PooledEventsPerSec() {
+  rlsim::Simulator sim;
+  int sink = 0;
+  const WallClock::time_point t0 = WallClock::now();
+  for (int round = 0; round < kEventRounds; ++round) {
+    for (int i = 0; i < kEventBatch; ++i) {
+      sim.Schedule(rlsim::Duration::Micros(i), [&sink] { ++sink; });
+    }
+    sim.Run();
+  }
+  const double secs = SecondsSince(t0);
+  benchmark::DoNotOptimize(sink);
+  return static_cast<double>(kEventRounds) * kEventBatch / secs;
+}
+
+// The pre-optimisation baseline, reconstructed locally: one heap node per
+// event, each holding its std::function by value (so every push allocates
+// and every pop moves/destroys one).
+struct NaiveEvent {
+  int64_t at_nanos;
+  uint64_t seq;
+  std::function<void()> fn;
+};
+struct NaiveLater {
+  bool operator()(const NaiveEvent& a, const NaiveEvent& b) const {
+    if (a.at_nanos != b.at_nanos) return a.at_nanos > b.at_nanos;
+    return a.seq > b.seq;
+  }
+};
+
+double NaiveQueueEventsPerSec() {
+  std::priority_queue<NaiveEvent, std::vector<NaiveEvent>, NaiveLater> queue;
+  int sink = 0;
+  uint64_t seq = 0;
+  const WallClock::time_point t0 = WallClock::now();
+  for (int round = 0; round < kEventRounds; ++round) {
+    for (int i = 0; i < kEventBatch; ++i) {
+      queue.push(NaiveEvent{i * 1000, seq++, [&sink] { ++sink; }});
+    }
+    while (!queue.empty()) {
+      // const_cast mirrors what the old simulator did to move the closure
+      // out of priority_queue's const top().
+      NaiveEvent ev = std::move(const_cast<NaiveEvent&>(queue.top()));
+      queue.pop();
+      ev.fn();
+    }
+  }
+  const double secs = SecondsSince(t0);
+  benchmark::DoNotOptimize(sink);
+  return static_cast<double>(kEventRounds) * kEventBatch / secs;
+}
+
+struct CampaignTiming {
+  double seconds = 0;
+  uint64_t corpus_hash = 0;
+};
+
+CampaignTiming TimeCampaign(int jobs, uint64_t episodes) {
+  rlchaos::ExplorerOptions opts;
+  opts.base_seed = 1;
+  opts.episodes = episodes;
+  opts.jobs = jobs;
+  const WallClock::time_point t0 = WallClock::now();
+  const rlchaos::ExplorerReport report =
+      rlchaos::ChaosExplorer(opts).RunCampaign();
+  CampaignTiming out;
+  out.seconds = SecondsSince(t0);
+  out.corpus_hash = report.corpus_hash;
+  return out;
+}
+
+int RunPerfSuite(const std::string& json_path, int jobs) {
+  const double crc_table = CrcThroughputMibps(&rlsim::Crc32cTableDriven);
+  const double crc_slice8 = CrcThroughputMibps(&rlsim::Crc32c);
+  const double pooled_eps = PooledEventsPerSec();
+  const double naive_eps = NaiveQueueEventsPerSec();
+
+  constexpr uint64_t kCampaignEpisodes = 40;
+  const CampaignTiming seq = TimeCampaign(1, kCampaignEpisodes);
+  const CampaignTiming par = TimeCampaign(jobs, kCampaignEpisodes);
+  if (seq.corpus_hash != par.corpus_hash) {
+    std::fprintf(stderr,
+                 "FATAL: campaign corpus hash diverged across job counts "
+                 "(jobs=1: %016llx, jobs=%d: %016llx)\n",
+                 static_cast<unsigned long long>(seq.corpus_hash), jobs,
+                 static_cast<unsigned long long>(par.corpus_hash));
+    return 1;
+  }
+
+  rlbench::BenchJsonWriter writer;
+  writer.Add("crc32c_table_mibps", crc_table, "MiB/s");
+  writer.Add("crc32c_slice8_mibps", crc_slice8, "MiB/s");
+  writer.Add("crc32c_speedup", crc_slice8 / crc_table, "x");
+  writer.Add("events_per_sec_pooled", pooled_eps, "events/s");
+  writer.Add("events_per_sec_naive_queue", naive_eps, "events/s");
+  writer.Add("event_dispatch_speedup", pooled_eps / naive_eps, "x");
+  writer.Add("campaign_40ep_jobs1_sec", seq.seconds, "s");
+  writer.Add("campaign_40ep_jobsN_sec", par.seconds, "s");
+  writer.Add("campaign_jobs", jobs, "threads");
+  writer.Add("campaign_speedup", seq.seconds / par.seconds, "x");
+  std::fputs(writer.ToString().c_str(), stdout);
+  return writer.WriteFile(json_path) ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  int jobs = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    }
+  }
+  if (!json_path.empty()) {
+    return RunPerfSuite(json_path, jobs > 0 ? jobs : rlharness::DefaultJobs());
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

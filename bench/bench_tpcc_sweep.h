@@ -1,16 +1,25 @@
 // Shared driver for E2/E3/E4: TPC-C throughput vs client count for one
 // engine profile, across deployment modes, on a shared rotating disk.
+//
+// The sweep is a matrix of independent seeded runs, so the cells fan out
+// across `jobs` worker threads (bench_common::RunTpccMany); results come
+// back in cell order and the printed table is byte-identical at any job
+// count.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/harness/parallel_runner.h"
 
 namespace rlbench {
 
 inline void RunTpccClientSweep(const char* experiment,
-                               const rldb::EngineProfile& profile) {
+                               const rldb::EngineProfile& profile,
+                               int jobs = 1) {
   const std::vector<int> client_counts = {1, 2, 4, 8, 16, 32};
   const struct {
     const char* name;
@@ -22,29 +31,54 @@ inline void RunTpccClientSweep(const char* experiment,
       {"unsafe", rlharness::DeploymentMode::kUnsafeAsync},
   };
 
-  PrintHeader(std::string(experiment) + ": TPC-C-lite throughput (txns/s) " +
-              "vs clients, profile=" + profile.name + ", shared HDD");
-  PrintRow({"clients", "native", "virt", "rapilog", "unsafe", "rapi/virt"});
-
+  // Build the full (clients x arm) cell list up front, row-major, so the
+  // fan-out covers the whole matrix and the reduction below just walks it
+  // in order.
+  std::vector<TpccRunConfig> cells;
   for (int clients : client_counts) {
-    std::vector<double> rates;
     for (const auto& arm : arms) {
       TpccRunConfig cfg;
       cfg.testbed = DefaultTestbed(arm.mode,
                                    rlharness::DiskSetup::kSharedHdd, profile);
       cfg.tpcc = DefaultTpcc();
       cfg.clients = clients;
-      const RunResult result = RunTpcc(cfg);
-      rates.push_back(result.txns_per_sec);
+      cells.push_back(cfg);
     }
-    PrintRow({Fmt(clients, "%.0f"), Fmt(rates[0], "%.0f"),
-              Fmt(rates[1], "%.0f"), Fmt(rates[2], "%.0f"),
-              Fmt(rates[3], "%.0f"),
-              Fmt(rates[1] > 0 ? rates[2] / rates[1] : 0, "%.2fx")});
   }
+  const std::vector<RunResult> results = RunTpccMany(cells, jobs);
+
+  PrintHeader(std::string(experiment) + ": TPC-C-lite throughput (txns/s) " +
+              "vs clients, profile=" + profile.name + ", shared HDD");
+  Table table;
+  table.Row({"clients", "native", "virt", "rapilog", "unsafe", "rapi/virt"});
+  for (size_t row = 0; row < client_counts.size(); ++row) {
+    const RunResult* r = &results[row * 4];
+    table.Row({Fmt(client_counts[row], "%.0f"), Fmt(r[0].txns_per_sec, "%.0f"),
+               Fmt(r[1].txns_per_sec, "%.0f"), Fmt(r[2].txns_per_sec, "%.0f"),
+               Fmt(r[3].txns_per_sec, "%.0f"),
+               Fmt(r[1].txns_per_sec > 0
+                       ? r[2].txns_per_sec / r[1].txns_per_sec
+                       : 0,
+                   "%.2fx")});
+  }
+  table.Print();
   std::printf(
       "\nExpected shape: rapilog >= virt everywhere, approaching the unsafe "
       "upper bound;\nnative vs virt gap is the virtualisation overhead.\n");
+}
+
+// Shared argv handling for the sweep binaries: `--jobs N` (0 = all cores).
+inline int SweepJobsFromArgs(int argc, char** argv) {
+  int jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      if (jobs <= 0) {
+        jobs = rlharness::DefaultJobs();
+      }
+    }
+  }
+  return jobs;
 }
 
 }  // namespace rlbench

@@ -11,6 +11,9 @@
 //                                       a failure with a first-event report
 //   rapilog_chaos --trace               print applied events/recoveries with
 //                                       virtual timestamps (stderr)
+//   rapilog_chaos --jobs N              fan episodes (and audit pairs) across
+//                                       N worker threads; 0 = all cores.
+//                                       Output is byte-identical to --jobs 1
 //   rapilog_chaos --out DIR             write shrunken failing schedules and
 //                                       divergence reports there
 //   rapilog_chaos --no-shrink           report failures without minimising
@@ -29,9 +32,11 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/faults/chaos/chaos_explorer.h"
 #include "src/faults/chaos/schedule.h"
+#include "src/harness/parallel_runner.h"
 
 namespace {
 
@@ -107,18 +112,29 @@ int ReportAndPersist(const ExplorerReport& report, const std::string& out_dir) {
 // Runs the divergence audit over seeds [base, base+episodes). Returns the
 // number of diverging episodes; the first report per diverging seed is
 // printed and (with --out) persisted for the nightly artifact upload.
+// The run pairs fan across `jobs` worker threads (each audit runs the
+// episode twice from the same seed); reports are reduced and printed in
+// seed order, so the output is identical at any job count.
 uint64_t AuditSeeds(uint64_t base, uint64_t episodes,
                     const rlchaos::GeneratorOptions& gen,
-                    const std::string& out_dir) {
+                    const std::string& out_dir, int jobs) {
+  const size_t n = static_cast<size_t>(episodes);
+  // With a single seed the only available parallelism is the pair itself.
+  const int pair_jobs = n == 1 ? jobs : 1;
+  const std::vector<rlharness::DivergenceReport> reports =
+      rlharness::RunJobs<rlharness::DivergenceReport>(
+          jobs, n, [base, &gen, pair_jobs](size_t i) {
+            return rlchaos::AuditEpisodeDivergence(
+                rlchaos::GenerateEpisode(base + i, gen), pair_jobs);
+          });
   uint64_t diverged = 0;
-  for (uint64_t i = 0; i < episodes; ++i) {
+  for (size_t i = 0; i < n; ++i) {
     const uint64_t seed = base + i;
-    const EpisodeConfig cfg = rlchaos::GenerateEpisode(seed, gen);
-    const rlharness::DivergenceReport report =
-        rlchaos::AuditEpisodeDivergence(cfg);
+    const rlharness::DivergenceReport& report = reports[i];
     if (report.identical) {
       continue;
     }
+    const EpisodeConfig cfg = rlchaos::GenerateEpisode(seed, gen);
     ++diverged;
     std::printf("audit seed %llu: %s\n",
                 static_cast<unsigned long long>(seed),
@@ -159,6 +175,7 @@ int main(int argc, char** argv) {
   uint64_t seed = 1;
   uint64_t episodes = 1;
   uint64_t budget = 0;  // 0 = not in budget (sweep) mode
+  int jobs = 1;
   bool shrink = true;
   bool audit = false;
   bool ablate_powerguard = false;
@@ -183,6 +200,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--minutes") {
       // Deterministic alias, converted exactly once here.
       budget = std::strtoull(next(), nullptr, 10) * kEpisodesPerMinute;
+    } else if (arg == "--jobs") {
+      jobs = static_cast<int>(std::strtol(next(), nullptr, 10));
+      if (jobs <= 0) {
+        jobs = rlharness::DefaultJobs();
+      }
     } else if (arg == "--replay") {
       replay_path = next();
     } else if (arg == "--out") {
@@ -210,6 +232,7 @@ int main(int argc, char** argv) {
   opts.episodes = episodes;
   opts.shrink = shrink;
   opts.run = run;
+  opts.jobs = jobs;
   if (ablate_powerguard) {
     // The ablation: RapiLog without its power guard. A buffered-ack device
     // whose emergency flush never runs loses acked commits on a plug-pull —
@@ -236,7 +259,7 @@ int main(int argc, char** argv) {
       ExplorerOptions batch = opts;
       batch.base_seed = next_seed;
       batch.episodes = remaining < kBatchEpisodes ? remaining : kBatchEpisodes;
-      const ExplorerReport r = ChaosExplorer(batch).Run();
+      const ExplorerReport r = ChaosExplorer(batch).RunCampaign();
       total.episodes_run += r.episodes_run;
       total.violations += r.violations;
       for (const ShrunkFailure& f : r.failures) {
@@ -248,7 +271,7 @@ int main(int argc, char** argv) {
     }
     uint64_t diverged = 0;
     if (audit) {
-      diverged = AuditSeeds(seed, budget, opts.gen, out_dir);
+      diverged = AuditSeeds(seed, budget, opts.gen, out_dir, jobs);
       std::printf("audit: %llu/%llu episodes diverged\n",
                   static_cast<unsigned long long>(diverged),
                   static_cast<unsigned long long>(budget));
@@ -257,7 +280,7 @@ int main(int argc, char** argv) {
     return diverged > 0 ? 1 : status;
   }
 
-  const ExplorerReport report = ChaosExplorer(opts).Run();
+  const ExplorerReport report = ChaosExplorer(opts).RunCampaign();
   if (report.failures.empty() && episodes == 1) {
     // Single-episode runs print their outcome even when clean, so CI can
     // assert determinism by comparing two runs' hashes.
@@ -266,7 +289,7 @@ int main(int argc, char** argv) {
   }
   uint64_t diverged = 0;
   if (audit) {
-    diverged = AuditSeeds(seed, episodes, opts.gen, out_dir);
+    diverged = AuditSeeds(seed, episodes, opts.gen, out_dir, jobs);
     std::printf("audit: %llu/%llu episodes diverged\n",
                 static_cast<unsigned long long>(diverged),
                 static_cast<unsigned long long>(episodes));

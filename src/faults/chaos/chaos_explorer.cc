@@ -8,6 +8,7 @@
 
 #include "src/db/errors.h"
 #include "src/faults/durability_checker.h"
+#include "src/harness/parallel_runner.h"
 #include "src/sim/check.h"
 #include "src/sim/simulator.h"
 #include "src/vmm/vm.h"
@@ -420,13 +421,16 @@ EpisodeOutcome RunEpisode(const EpisodeConfig& cfg, const RunOptions& run) {
   return out;
 }
 
-rlharness::DivergenceReport AuditEpisodeDivergence(const EpisodeConfig& cfg) {
+rlharness::DivergenceReport AuditEpisodeDivergence(const EpisodeConfig& cfg,
+                                                   int jobs) {
   const rlharness::DivergenceAuditor auditor;
-  return auditor.RunTwice([&cfg](rlsim::TraceEventSink& sink) {
-    RunOptions run;
-    run.sink = &sink;
-    RunEpisode(cfg, run);
-  });
+  return auditor.RunTwice(
+      [&cfg](rlsim::TraceEventSink& sink) {
+        RunOptions run;
+        run.sink = &sink;
+        RunEpisode(cfg, run);
+      },
+      jobs);
 }
 
 ShrinkResult Shrink(const EpisodeConfig& failing, int budget) {
@@ -500,29 +504,60 @@ ShrinkResult Shrink(const EpisodeConfig& failing, int budget) {
   return res;
 }
 
-ExplorerReport ChaosExplorer::Run() {
+ExplorerReport ChaosExplorer::RunCampaign() {
+  // Tracing prints to stderr and a sink records one simulator's stream;
+  // both only make sense observing a single episode at a time.
+  const int jobs =
+      (options_.run.trace || options_.run.sink != nullptr) ? 1 : options_.jobs;
+
+  // Phase 1: every episode, fanned out. Each job builds its own Simulator
+  // and Testbed from its config; nothing is shared across jobs.
+  const size_t n = static_cast<size_t>(options_.episodes);
+  std::vector<EpisodeConfig> cfgs(n);
+  for (size_t i = 0; i < n; ++i) {
+    cfgs[i] = GenerateEpisode(options_.base_seed + i, options_.gen);
+  }
+  const std::vector<EpisodeOutcome> outcomes =
+      rlharness::RunJobs<EpisodeOutcome>(jobs, n, [this, &cfgs](size_t i) {
+        return RunEpisode(cfgs[i], options_.run);
+      });
+
+  // Index-ordered reduction: the corpus hash chains episode hashes in seed
+  // order and failures are collected in seed order, independent of which
+  // worker finished first.
   ExplorerReport report;
   uint64_t corpus = kFnvOffset;
-  for (uint64_t i = 0; i < options_.episodes; ++i) {
-    const uint64_t seed = options_.base_seed + i;
-    EpisodeConfig cfg = GenerateEpisode(seed, options_.gen);
-    EpisodeOutcome out = RunEpisode(cfg, options_.run);
+  std::vector<size_t> failing;
+  for (size_t i = 0; i < n; ++i) {
     ++report.episodes_run;
-    corpus = FnvMix(corpus, out.Hash());
-    if (!out.ok()) {
+    corpus = FnvMix(corpus, outcomes[i].Hash());
+    if (!outcomes[i].ok()) {
       ++report.violations;
-      ShrunkFailure failure;
-      failure.original = cfg;
-      if (options_.shrink) {
-        failure.shrunk = Shrink(cfg, options_.shrink_budget);
-      } else {
-        failure.shrunk.minimal = cfg;
-        failure.shrunk.outcome = out;
-      }
-      report.failures.push_back(std::move(failure));
+      failing.push_back(i);
     }
   }
   report.corpus_hash = corpus;
+
+  // Phase 2: shrink the failures (independent of each other, so they fan
+  // out too; each Shrink replays sequentially and deterministically).
+  std::vector<ShrinkResult> shrunk;
+  if (options_.shrink) {
+    shrunk = rlharness::RunJobs<ShrinkResult>(
+        jobs, failing.size(), [this, &cfgs, &failing](size_t k) {
+          return Shrink(cfgs[failing[k]], options_.shrink_budget);
+        });
+  }
+  for (size_t k = 0; k < failing.size(); ++k) {
+    ShrunkFailure failure;
+    failure.original = cfgs[failing[k]];
+    if (options_.shrink) {
+      failure.shrunk = std::move(shrunk[k]);
+    } else {
+      failure.shrunk.minimal = cfgs[failing[k]];
+      failure.shrunk.outcome = outcomes[failing[k]];
+    }
+    report.failures.push_back(std::move(failure));
+  }
   return report;
 }
 

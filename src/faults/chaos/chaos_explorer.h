@@ -64,8 +64,9 @@ EpisodeOutcome RunEpisode(const EpisodeConfig& cfg,
 // Determinism cross-check: executes the episode twice from its seed with a
 // trace recorder installed and returns the auditor's verdict — identical
 // per-epoch digests, or the first diverging event (see
-// src/harness/divergence_auditor.h).
-rlharness::DivergenceReport AuditEpisodeDivergence(const EpisodeConfig& cfg);
+// src/harness/divergence_auditor.h). jobs >= 2 runs the pair concurrently.
+rlharness::DivergenceReport AuditEpisodeDivergence(const EpisodeConfig& cfg,
+                                                   int jobs = 1);
 
 struct ShrinkResult {
   EpisodeConfig minimal;
@@ -87,6 +88,12 @@ struct ExplorerOptions {
   RunOptions run;
   bool shrink = true;
   int shrink_budget = 250;
+  // Worker threads for the episode fan-out (src/harness/parallel_runner).
+  // Episodes are independent seeded simulations; outcomes are reduced in
+  // episode-index order, so the report (hashes, violation order, shrunken
+  // schedules) is byte-identical for jobs=1 and jobs=32. Forced to 1 when
+  // run.trace or run.sink is set — both observe one episode at a time.
+  int jobs = 1;
 };
 
 struct ShrunkFailure {
@@ -109,8 +116,14 @@ class ChaosExplorer {
  public:
   explicit ChaosExplorer(ExplorerOptions options) : options_(options) {}
 
-  // Episodes base_seed .. base_seed+episodes-1, shrinking each failure.
-  ExplorerReport Run();
+  // Episodes base_seed .. base_seed+episodes-1, fanned across options_.jobs
+  // worker threads, outcomes reduced in episode-index order, each failure
+  // shrunk deterministically (shrinking itself fans across failures; each
+  // shrink is internally sequential and a pure function of its config).
+  ExplorerReport RunCampaign();
+
+  // Historical name; same campaign.
+  ExplorerReport Run() { return RunCampaign(); }
 
  private:
   ExplorerOptions options_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/harness/parallel_runner.h"
 #include "src/sim/check.h"
 #include "src/sim/crc32.h"
 
@@ -113,12 +114,12 @@ DivergenceReport DivergenceAuditor::Compare(
   return report;
 }
 
-DivergenceReport DivergenceAuditor::RunTwice(const RunFn& run) const {
-  TraceRecorder first;
-  run(first);
-  TraceRecorder second;
-  run(second);
-  return Compare(first.events(), second.events());
+DivergenceReport DivergenceAuditor::RunTwice(const RunFn& run,
+                                             int jobs) const {
+  TraceRecorder recorders[2];
+  RunIndexedJobs(jobs, 2,
+                 [&run, &recorders](size_t i) { run(recorders[i]); });
+  return Compare(recorders[0].events(), recorders[1].events());
 }
 
 }  // namespace rlharness

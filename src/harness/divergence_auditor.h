@@ -82,9 +82,12 @@ class DivergenceAuditor {
 
   // Runs the scenario twice with a fresh recorder each time and compares.
   // The scenario must be a pure function of its own inputs (seed, config):
-  // anything else IS the nondeterminism this auditor exists to catch.
+  // anything else IS the nondeterminism this auditor exists to catch. With
+  // jobs >= 2 the two runs execute on concurrent worker threads
+  // (src/harness/parallel_runner) — legitimate precisely because the
+  // scenario is required to be pure; the comparison is unchanged.
   using RunFn = std::function<void(rlsim::TraceEventSink& sink)>;
-  DivergenceReport RunTwice(const RunFn& run) const;
+  DivergenceReport RunTwice(const RunFn& run, int jobs = 1) const;
 
   DivergenceReport Compare(const std::vector<TraceEvent>& a,
                            const std::vector<TraceEvent>& b) const;

@@ -1,0 +1,64 @@
+#include "src/harness/parallel_runner.h"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace rlharness {
+
+int DefaultJobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void RunIndexedJobs(int jobs, size_t n,
+                    const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  const size_t workers =
+      std::min(static_cast<size_t>(jobs < 1 ? 1 : jobs), n);
+
+  // One exception slot per job, filled by whichever worker ran it; the
+  // lowest-index failure is rethrown after the pool drains, so the surfaced
+  // error does not depend on thread scheduling.
+  std::vector<std::exception_ptr> errors(n);
+
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  } else {
+    std::atomic<size_t> next{0};
+    const auto worker = [&next, &errors, &fn, n] {
+      for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        try {
+          fn(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
+  for (const std::exception_ptr& e : errors) {
+    if (e != nullptr) {
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+}  // namespace rlharness

@@ -1,5 +1,7 @@
-// CRC-32C (Castagnoli), table-driven. Used by the DB engine to detect torn
-// sectors/pages/log records after crashes.
+// CRC-32C (Castagnoli). Used by the DB engine to detect torn
+// sectors/pages/log records after crashes, and by the trace/divergence
+// machinery to digest payloads — which puts it on the hot path of every
+// traced run, hence the slice-by-8 implementation.
 #pragma once
 
 #include <cstdint>
@@ -7,6 +9,15 @@
 
 namespace rlsim {
 
+// Slice-by-8: processes 8 input bytes per step through 8 derived tables.
+// Same polynomial, same output as the classic table-driven form for every
+// input (pinned by sim_crc_test against Crc32cTableDriven).
 uint32_t Crc32c(std::span<const uint8_t> data, uint32_t seed = 0);
+
+// The classic one-byte-at-a-time table-driven form. Kept as the reference
+// implementation for the equivalence test and as the baseline the CRC
+// throughput benchmark measures speedup against; production code calls
+// Crc32c.
+uint32_t Crc32cTableDriven(std::span<const uint8_t> data, uint32_t seed = 0);
 
 }  // namespace rlsim

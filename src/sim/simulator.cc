@@ -7,16 +7,51 @@
 
 namespace rlsim {
 
-Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+namespace {
+
+// Events per pool slab. One slab covers most unit-test workloads; sustained
+// workloads settle at the high-water mark of in-flight events.
+constexpr size_t kSlabEvents = 256;
+
+// Initial heap capacity, reserved once so early scheduling never reallocates.
+constexpr size_t kInitialHeapCapacity = 1024;
+
+}  // namespace
+
+Simulator::Simulator(uint64_t seed) : rng_(seed) {
+  heap_.reserve(kInitialHeapCapacity);
+}
 
 Simulator::~Simulator() {
   // Drop queued events before destroying still-suspended root frames so that
   // no queued callback can reference a destroyed frame. (Destruction order of
-  // members alone would destroy roots_ first.)
-  while (!queue_.empty()) {
-    queue_.pop();
+  // members alone would destroy roots_ first.) The pooled closures must be
+  // destroyed explicitly: slab storage only dies with the member vectors.
+  for (HeapEntry& e : heap_) {
+    e.node->fn = nullptr;
   }
+  heap_.clear();
   roots_.clear();
+}
+
+Simulator::EventNode* Simulator::AllocNode() {
+  if (free_list_ == nullptr) {
+    slabs_.push_back(std::make_unique<EventNode[]>(kSlabEvents));
+    EventNode* slab = slabs_.back().get();
+    for (size_t i = 0; i < kSlabEvents; ++i) {
+      slab[i].next_free = free_list_;
+      free_list_ = &slab[i];
+    }
+  }
+  EventNode* node = free_list_;
+  free_list_ = node->next_free;
+  node->next_free = nullptr;
+  return node;
+}
+
+void Simulator::FreeNode(EventNode* node) {
+  node->next_free = free_list_;
+  free_list_ = node;
 }
 
 void Simulator::Schedule(Duration delay, std::function<void()> fn) {
@@ -27,7 +62,10 @@ void Simulator::Schedule(Duration delay, std::function<void()> fn) {
 
 void Simulator::ScheduleAt(TimePoint at, std::function<void()> fn) {
   RL_CHECK_MSG(at >= now_, "cannot schedule in the past");
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+  EventNode* node = AllocNode();
+  node->fn = std::move(fn);
+  heap_.push_back(HeapEntry{at, next_seq_++, node});
+  std::push_heap(heap_.begin(), heap_.end(), EventLater{});
 }
 
 void Simulator::Spawn(Task<void> task, std::string name) {
@@ -37,19 +75,23 @@ void Simulator::Spawn(Task<void> task, std::string name) {
 }
 
 bool Simulator::Step(TimePoint deadline) {
-  if (stopped_ || queue_.empty()) {
+  if (stopped_ || heap_.empty()) {
     return false;
   }
-  const Event& top = queue_.top();
-  if (top.at > deadline) {
+  if (heap_.front().at > deadline) {
     return false;
   }
-  // Copy out before pop: fn may schedule new events.
-  Event ev{top.at, top.seq, std::move(const_cast<Event&>(top).fn)};
-  queue_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
+  const HeapEntry ev = heap_.back();
+  heap_.pop_back();
+  // Move the closure out and recycle the node before running: fn may
+  // schedule new events, which may take the node straight back.
+  std::function<void()> fn = std::move(ev.node->fn);
+  ev.node->fn = nullptr;
+  FreeNode(ev.node);
   RL_CHECK(ev.at >= now_);
   now_ = ev.at;
-  ev.fn();
+  fn();
   return true;
 }
 

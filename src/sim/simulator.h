@@ -10,7 +10,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -89,13 +89,23 @@ class Simulator {
   }
 
  private:
-  struct Event {
+  // Event storage is split hot/cold to keep per-event cost off the schedule
+  // path. The heap orders small POD entries (24 bytes — cheap to sift);
+  // each entry points at a pooled node holding the std::function. Nodes are
+  // slab-allocated and recycled through a free list, so steady-state
+  // scheduling does no heap allocation at all (beyond what a captured
+  // closure too big for the function's small-buffer optimisation needs).
+  struct EventNode {
+    std::function<void()> fn;
+    EventNode* next_free = nullptr;
+  };
+  struct HeapEntry {
     TimePoint at;
     uint64_t seq;  // FIFO order among same-timestamp events
-    std::function<void()> fn;
+    EventNode* node;
   };
   struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.at != b.at) {
         return a.at > b.at;
       }
@@ -113,10 +123,17 @@ class Simulator {
   bool Step(TimePoint deadline);
   void ReapFinishedTasks();
 
+  EventNode* AllocNode();
+  void FreeNode(EventNode* node);
+
   TimePoint now_ = TimePoint::Origin();
   uint64_t next_seq_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  // Binary heap over heap_ (std::push_heap/pop_heap with EventLater), with
+  // capacity reserved up front and retained across Run()s.
+  std::vector<HeapEntry> heap_;
+  std::vector<std::unique_ptr<EventNode[]>> slabs_;
+  EventNode* free_list_ = nullptr;
   std::vector<RootTask> roots_;
   Rng rng_;
   TraceEventSink* tracer_ = nullptr;

@@ -142,7 +142,9 @@ Task<BlockStatus> SimBlockDevice::Write(uint64_t lba,
           data.subspan(static_cast<size_t>(i) * kSectorSize, kSectorSize));
     }
     stats_.failed_requests.Add();
-    sim_.EmitTrace(options_.name, "torn-write", TraceCrc(lba, applied));
+    if (sim_.tracer() != nullptr) {
+      sim_.EmitTrace(options_.name, "torn-write", TraceCrc(lba, applied));
+    }
     co_return BlockStatus::kIoError;
   }
   const TimePoint start = sim_.now();
@@ -280,7 +282,10 @@ Task<void> SimBlockDevice::DestageLoop() {
             }
           }
           stats_.destaged_sectors.Add(run);
-          sim_.EmitTrace(options_.name, "destage", TraceCrc(start_lba, run));
+          if (sim_.tracer() != nullptr) {
+            sim_.EmitTrace(options_.name, "destage",
+                           TraceCrc(start_lba, run));
+          }
         }
       }
     }
@@ -315,11 +320,13 @@ void SimBlockDevice::PowerLoss() {
       }
     }
   }
-  sim_.EmitTrace(options_.name, "power-loss",
-                 TraceCrc(image_.cached_sector_count(),
-                          inflight_medium_write_.has_value()
-                              ? inflight_medium_write_->lba + 1
-                              : 0));
+  if (sim_.tracer() != nullptr) {
+    sim_.EmitTrace(options_.name, "power-loss",
+                   TraceCrc(image_.cached_sector_count(),
+                            inflight_medium_write_.has_value()
+                                ? inflight_medium_write_->lba + 1
+                                : 0));
+  }
   image_.PowerLoss(-1);
   // Unblock everything so waiters observe powered_ == false.
   destage_wake_.NotifyAll();

@@ -251,6 +251,61 @@ TEST(SimlintSL006, PragmaSuppresses) {
                  "void Add(double v) { sum_ += v; }\n"));
 }
 
+// --- SL007 thread primitives ----------------------------------------------
+
+TEST(SimlintSL007, ThreadInSimCoreFires) {
+  ExpectOnly(LintSource("src/sim/foo.cc",
+                        "void F() {\n"
+                        "  std::thread t([] {});\n"
+                        "}\n"),
+             "SL007", 2);
+}
+
+TEST(SimlintSL007, MutexAndAsyncFire) {
+  const auto findings = LintSource("src/db/foo.cc",
+                                   "std::mutex mu_;\n"
+                                   "auto f = std::async([] {});\n");
+  ASSERT_EQ(findings.size(), 2u) << simlint::FormatText(findings);
+  EXPECT_EQ(findings[0].rule, "SL007");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[1].rule, "SL007");
+  EXPECT_EQ(findings[1].line, 2);
+}
+
+TEST(SimlintSL007, FiresAcrossTheCoreDirs) {
+  for (const char* path :
+       {"src/storage/foo.cc", "src/net/foo.cc", "src/replica/foo.cc"}) {
+    ExpectOnly(LintSource(path, "std::condition_variable cv_;\n"), "SL007",
+               1);
+  }
+}
+
+TEST(SimlintSL007, ParallelRunnerAndToolsAreExempt) {
+  ExpectClean(LintSource("src/harness/parallel_runner.cc",
+                         "std::vector<std::thread> pool;\n"));
+  ExpectClean(LintSource("src/harness/parallel_runner.h",
+                         "// spawns std::thread workers\n"
+                         "int DefaultJobs();\n"));
+  ExpectClean(LintSource("tools/foo/foo.cc", "std::mutex mu_;\n"));
+  ExpectClean(LintSource("tests/foo.cc", "std::thread t([] {});\n"));
+}
+
+TEST(SimlintSL007, UnrelatedIdentifiersAreNotFlagged) {
+  // A member named `thread` or prose in comments must not trip the rule;
+  // only the std:: primitives themselves do.
+  ExpectClean(LintSource("src/sim/foo.cc",
+                         "int thread = 0;\n"
+                         "// std::thread is banned here\n"
+                         "const char* s = \"std::mutex in a string\";\n"));
+}
+
+TEST(SimlintSL007, PragmaSuppresses) {
+  ExpectClean(
+      LintSource("src/harness/foo.cc",
+                 "// simlint: thread-ok (host-side progress reporter)\n"
+                 "std::thread reporter_;\n"));
+}
+
 // --- Pragmas / stripping behaviour ----------------------------------------
 
 TEST(SimlintStrip, WrongPragmaTagDoesNotSuppress) {
@@ -346,10 +401,10 @@ TEST(SimlintOutput, GithubAnnotationsNameTheFile) {
       << gh;
 }
 
-TEST(SimlintRules, TableListsAllSixRules) {
-  ASSERT_EQ(simlint::Rules().size(), 6u);
+TEST(SimlintRules, TableListsAllSevenRules) {
+  ASSERT_EQ(simlint::Rules().size(), 7u);
   EXPECT_STREQ(simlint::Rules()[0].id, "SL001");
-  EXPECT_STREQ(simlint::Rules()[5].id, "SL006");
+  EXPECT_STREQ(simlint::Rules()[6].id, "SL007");
 }
 
 }  // namespace

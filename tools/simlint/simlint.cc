@@ -55,6 +55,16 @@ bool InAmbientBanDirs(std::string_view path) {
          UnderDir(path, "src/faults");
 }
 
+// SL007 scope: everything under src/ except the parallel runner, which is
+// the one sanctioned home for threads (it fans out whole simulations; each
+// simulation stays single-threaded). tools/ and tests/ are host-side code
+// and exempt.
+bool InThreadBanScope(std::string_view path) {
+  if (path.substr(0, 2) == "./") path.remove_prefix(2);
+  if (path.substr(0, 27) == "src/harness/parallel_runner") return false;
+  return InSrc(path);
+}
+
 const char* SeverityFor(std::string_view rule) {
   for (const RuleInfo& r : Rules()) {
     if (rule == r.id) return r.severity;
@@ -119,6 +129,7 @@ class Linter {
       CheckPointerOrdering(line, ln);
       CheckRawNewDelete(line, ln);
       CheckFloatAccumulation(line, ln);
+      CheckThreadPrimitives(line, ln);
     }
     return Resolve();
   }
@@ -382,6 +393,36 @@ class Linter {
     }
   }
 
+  // SL007: threading primitives inside the simulation core. A simulation is
+  // single-threaded by contract — its determinism comes from the virtual
+  // clock ordering every event; a thread, mutex or future inside one
+  // reintroduces scheduling nondeterminism the whole design exists to
+  // remove. Parallelism belongs one level up: fan out independent
+  // simulations via src/harness/parallel_runner.
+  void CheckThreadPrimitives(const std::string& line, int ln) {
+    if (!InThreadBanScope(file_.path)) return;
+    static constexpr const char* kBannedPrimitives[] = {
+        "std::thread",        "std::jthread",
+        "std::async",         "std::mutex",
+        "std::timed_mutex",   "std::recursive_mutex",
+        "std::shared_mutex",  "std::condition_variable",
+        "std::lock_guard",    "std::scoped_lock",
+        "std::unique_lock",   "std::shared_lock",
+        "std::future",        "std::promise",
+        "std::latch",         "std::barrier",
+        "pthread_create",
+    };
+    for (const char* prim : kBannedPrimitives) {
+      if (FindWord(line, prim) != std::string_view::npos) {
+        Report("SL007", "thread-ok", ln,
+               std::string("threading primitive '") + prim +
+                   "' inside the single-threaded simulation core",
+               "parallelise across simulations, not within one: fan whole "
+               "(seed, config) jobs out via src/harness/parallel_runner");
+      }
+    }
+  }
+
   // Per-file declaration scan feeding SL003 (any unordered name declared in
   // this file, locals included) and SL006 (float/double variables).
   void CollectLocalDeclarations() {
@@ -499,6 +540,9 @@ const std::vector<RuleInfo>& Rules() {
        "raw new/delete outside arena/device code"},
       {"SL006", "float-accumulation", "warning",
        "+=/-= on a float/double accumulator without Kahan or integer units"},
+      {"SL007", "thread-primitives", "error",
+       "std::thread/async/mutex (and friends) in src/ outside "
+       "src/harness/parallel_runner"},
   };
   return kRules;
 }

@@ -16,12 +16,14 @@
 //   SL004 pointer-ordering        pointer-keyed ordered containers
 //   SL005 raw-new-delete          raw new/delete outside arena/device code
 //   SL006 float-accumulation      += on float/double accumulators
+//   SL007 thread-primitives       std::thread/async/mutex in the sim core
+//                                 (threads live in src/harness/parallel_runner)
 //
 // Suppression: a `// simlint: <tag>` comment on the finding's line or the
 // line directly above it, with tag one of clock-ok, env-ok, static-ok,
-// ordered-ok, ptr-ok, new-ok, float-ok. Pragmas are expected to carry a
-// short justification in parentheses; the linter does not parse it, humans
-// read it in review.
+// ordered-ok, ptr-ok, new-ok, float-ok, thread-ok. Pragmas are expected to
+// carry a short justification in parentheses; the linter does not parse it,
+// humans read it in review.
 //
 // Baselines: `--write-baseline` serializes current findings keyed by
 // (rule, file, CRC32 of the normalized source line) — robust to line-number
