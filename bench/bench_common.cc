@@ -2,14 +2,81 @@
 
 #include <algorithm>
 #include <fstream>
+#include <optional>
 
 #include "src/harness/parallel_runner.h"
+#include "src/obs/metrics_snapshot.h"
 
 namespace rlbench {
 
 using rlsim::Duration;
 using rlsim::Simulator;
 using rlsim::Task;
+
+namespace {
+
+// Registers the commit-path and workload stats a snapshot series should
+// track. The registry does not own anything; every registrant is a member of
+// `bed`/`tpcc`, which outlive the simulation.
+void RegisterBenchStats(rlharness::Testbed& bed, rlwork::TpccLite& tpcc,
+                        rlsim::StatsRegistry& registry) {
+  registry.RegisterCounter("tpcc.committed", &tpcc.stats().committed);
+  registry.RegisterCounter("tpcc.lock_aborts", &tpcc.stats().lock_aborts);
+  registry.RegisterHistogram("tpcc.txn_latency", &tpcc.stats().txn_latency,
+                             /*as_duration=*/true);
+  const rldb::LogWriter::Stats& wal = bed.db().log_writer().stats();
+  registry.RegisterCounter("wal.flush_cycles", &wal.flush_cycles);
+  registry.RegisterCounter("wal.blocks_written", &wal.blocks_written);
+  registry.RegisterHistogram("wal.commit_wait", &wal.commit_wait,
+                             /*as_duration=*/true);
+  if (bed.guest_log_dev() != nullptr) {
+    registry.RegisterHistogram("vblk.log.request_latency",
+                               &bed.guest_log_dev()->stats().request_latency,
+                               /*as_duration=*/true);
+  }
+  if (bed.rapilog() != nullptr) {
+    registry.RegisterHistogram("rapilog.ack_latency",
+                               &bed.rapilog()->stats().ack_latency,
+                               /*as_duration=*/true);
+    registry.RegisterHistogram("rapilog.buffer_occupancy",
+                               &bed.rapilog()->stats().buffer_occupancy);
+  }
+  registry.RegisterHistogram("logdisk.write_latency",
+                             &bed.log_disk_physical().stats().write_latency,
+                             /*as_duration=*/true);
+  registry.RegisterHistogram("logdisk.flush_latency",
+                             &bed.log_disk_physical().stats().flush_latency,
+                             /*as_duration=*/true);
+  bed.RegisterReplicationStats(registry);
+}
+
+// Restarts the per-stage histograms at the warmup boundary so StageStats
+// covers the same steady-state window as the workload counters.
+void ResetStageStats(rlharness::Testbed& bed) {
+  bed.db().log_writer().stats().commit_wait.Reset();
+  if (bed.guest_log_dev() != nullptr) {
+    bed.guest_log_dev()->stats().request_latency.Reset();
+  }
+  if (bed.rapilog() != nullptr) {
+    bed.rapilog()->stats().ack_latency.Reset();
+  }
+  bed.log_disk_physical().stats().write_latency.Reset();
+  bed.log_disk_physical().stats().flush_latency.Reset();
+}
+
+void CollectStageStats(rlharness::Testbed& bed, StageStats& out) {
+  out.guest_commit_wait = bed.db().log_writer().stats().commit_wait;
+  if (bed.guest_log_dev() != nullptr) {
+    out.vmm_request = bed.guest_log_dev()->stats().request_latency;
+  }
+  if (bed.rapilog() != nullptr) {
+    out.buffer_ack = bed.rapilog()->stats().ack_latency;
+  }
+  out.medium_write = bed.log_disk_physical().stats().write_latency;
+  out.device_flush = bed.log_disk_physical().stats().flush_latency;
+}
+
+}  // namespace
 
 rlharness::TestbedOptions DefaultTestbed(rlharness::DeploymentMode mode,
                                          rlharness::DiskSetup disks,
@@ -39,14 +106,21 @@ rlwork::TpccConfig DefaultTpcc() {
 
 RunResult RunTpcc(const TpccRunConfig& config) {
   Simulator sim(config.seed);
+  sim.set_tracer(config.sink);
   rlharness::Testbed bed(sim, config.testbed);
   rlwork::TpccLite tpcc(sim, config.tpcc);
   bool stop = false;
   RunResult result;
+  rlsim::StatsRegistry registry;
+  std::optional<rlobs::MetricsSnapshotter> snapshotter;
+  if (config.snapshot_every > Duration::Zero()) {
+    snapshotter.emplace(sim, registry, config.snapshot_every);
+  }
 
   sim.Spawn([](Simulator& s, rlharness::Testbed& b, rlwork::TpccLite& w,
-               const TpccRunConfig& cfg, RunResult& out,
-               bool& stop_flag) -> Task<void> {
+               const TpccRunConfig& cfg, RunResult& out, bool& stop_flag,
+               rlsim::StatsRegistry& reg,
+               rlobs::MetricsSnapshotter* snap) -> Task<void> {
     co_await b.Start();
     co_await w.LoadInitial(b.db());
     for (int c = 0; c < cfg.clients; ++c) {
@@ -58,6 +132,11 @@ RunResult RunTpcc(const TpccRunConfig& config) {
     w.stats().new_orders.Reset();
     w.stats().lock_aborts.Reset();
     w.stats().txn_latency.Reset();
+    ResetStageStats(b);
+    if (snap != nullptr) {
+      RegisterBenchStats(b, w, reg);
+      snap->Start(&stop_flag);
+    }
     const rlsim::TimePoint t0 = s.now();
     co_await s.Sleep(cfg.measure);
     const double seconds = (s.now() - t0).ToSecondsF();
@@ -73,9 +152,15 @@ RunResult RunTpcc(const TpccRunConfig& config) {
     out.p99 = w.stats().txn_latency.PercentileDuration(99);
     out.mean = rlsim::Duration::Nanos(
         static_cast<int64_t>(w.stats().txn_latency.Mean()));
-  }(sim, bed, tpcc, config, result, stop));
+    CollectStageStats(b, out.stages);
+  }(sim, bed, tpcc, config, result, stop, registry,
+    snapshotter ? &*snapshotter : nullptr));
 
   sim.Run();
+  sim.set_tracer(nullptr);
+  if (snapshotter) {
+    result.snapshots_json = snapshotter->ToJson();
+  }
   return result;
 }
 
@@ -120,6 +205,11 @@ void BenchJsonWriter::Add(const std::string& name, double value,
   metrics_.push_back(Metric{name, value, unit});
 }
 
+void BenchJsonWriter::AddRaw(const std::string& name,
+                             const std::string& json) {
+  raw_.emplace_back(name, json);
+}
+
 std::string BenchJsonWriter::ToString() const {
   std::string out = "{\"metrics\":[";
   for (size_t i = 0; i < metrics_.size(); ++i) {
@@ -132,7 +222,11 @@ std::string BenchJsonWriter::ToString() const {
     out += "{\"name\":\"" + m.name + "\",\"value\":" + buf + ",\"unit\":\"" +
            m.unit + "\"}";
   }
-  out += "]}\n";
+  out += "]";
+  for (const auto& [name, json] : raw_) {
+    out += ",\"" + name + "\":" + json;
+  }
+  out += "}\n";
   return out;
 }
 

@@ -11,10 +11,27 @@
 #include "src/faults/durability_checker.h"
 #include "src/harness/testbed.h"
 #include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+#include "src/sim/trace.h"
 #include "src/workload/kv_workload.h"
 #include "src/workload/tpcc_lite.h"
 
 namespace rlbench {
+
+// Per-stage commit-path latency, copied out of the component histograms at
+// the end of the measurement window (warmup excluded by the same reset that
+// restarts the workload counters). Stages a deployment mode does not have
+// stay empty: vmm_request in kNative (no guest stack), buffer_ack outside
+// kRapiLog. On a shared spindle (DiskSetup::kSharedHdd) medium_write also
+// includes data-page traffic — it is the physical device the log lands on,
+// not a log-only probe.
+struct StageStats {
+  rlsim::Histogram guest_commit_wait;  // WAL WaitDurable blocked time
+  rlsim::Histogram vmm_request;        // guest-observed vblk request latency
+  rlsim::Histogram buffer_ack;         // RapiLog buffered-ack latency
+  rlsim::Histogram medium_write;       // physical log-disk write latency
+  rlsim::Histogram device_flush;       // physical log-disk flush latency
+};
 
 struct RunResult {
   double txns_per_sec = 0;
@@ -25,6 +42,11 @@ struct RunResult {
   rlsim::Duration p95 = rlsim::Duration::Zero();
   rlsim::Duration p99 = rlsim::Duration::Zero();
   rlsim::Duration mean = rlsim::Duration::Zero();
+  StageStats stages;
+  // JSON array of periodic StatsRegistry snapshots (see
+  // src/obs/metrics_snapshot.h); empty unless TpccRunConfig::snapshot_every
+  // was set.
+  std::string snapshots_json;
 };
 
 struct TpccRunConfig {
@@ -34,6 +56,15 @@ struct TpccRunConfig {
   rlsim::Duration warmup = rlsim::Duration::Millis(500);
   rlsim::Duration measure = rlsim::Duration::Seconds(3);
   uint64_t seed = 42;
+  // Observability hooks. Neither affects the simulation's behaviour — spans
+  // and snapshots are passive observers (see DESIGN.md "Observability").
+  // `sink` is installed as the run's trace sink for the whole run (including
+  // warmup); it must not be shared across concurrent RunTpccMany jobs.
+  rlsim::TraceEventSink* sink = nullptr;
+  // Zero = no snapshots. When set, a MetricsSnapshotter samples the run's
+  // stats registry every `snapshot_every` of virtual time across the
+  // measurement window; the series lands in RunResult::snapshots_json.
+  rlsim::Duration snapshot_every = rlsim::Duration::Zero();
 };
 
 // Runs TPC-C-lite on a fresh testbed and reports steady-state results
@@ -87,11 +118,16 @@ inline std::string FmtDur(rlsim::Duration d) { return rlsim::ToString(d); }
 
 // Collects named metrics and writes them as JSON (insertion order preserved,
 // so output is deterministic): {"metrics":[{"name":...,"value":...,
-// "unit":...},...]}. Used by bench_micro --json to produce BENCH_perf.json,
-// the perf baseline later PRs are judged against.
+// "unit":...},...]}. Used by bench_micro --json to produce BENCH_perf.json
+// (the perf baseline later PRs are judged against) and by the experiment
+// benches for their BENCH_e*.json files.
 class BenchJsonWriter {
  public:
   void Add(const std::string& name, double value, const std::string& unit);
+  // Attaches a pre-rendered JSON value as a top-level key next to "metrics"
+  // (e.g. a MetricsSnapshotter series). `json` must already be valid JSON;
+  // it is spliced in verbatim, insertion order preserved.
+  void AddRaw(const std::string& name, const std::string& json);
   std::string ToString() const;
   // Returns false (and prints to stderr) if the file cannot be written.
   bool WriteFile(const std::string& path) const;
@@ -103,6 +139,7 @@ class BenchJsonWriter {
     std::string unit;
   };
   std::vector<Metric> metrics_;
+  std::vector<std::pair<std::string, std::string>> raw_;
 };
 
 }  // namespace rlbench

@@ -106,7 +106,7 @@ E11Result RunArm(Arm arm, Duration link_latency, uint64_t seed) {
       out.blocks_shipped = ship.blocks_shipped.value();
       out.retransmits = ship.retransmits.value();
       out.lag_p50 = ship.lag_blocks.Percentile(50);
-      out.lag_max = ship.lag_blocks.max();
+      out.lag_max = ship.lag_blocks.empty() ? 0 : ship.lag_blocks.max();
       out.quorum_ack_p50 = ship.quorum_ack_latency.PercentileDuration(50);
       rlsim::StatsRegistry registry;
       b.RegisterReplicationStats(registry);

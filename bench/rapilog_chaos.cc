@@ -11,6 +11,10 @@
 //                                       a failure with a first-event report
 //   rapilog_chaos --trace               print applied events/recoveries with
 //                                       virtual timestamps (stderr)
+//   rapilog_chaos --trace-out FILE      record one episode (the base seed,
+//                                       or the --replay schedule) with the
+//                                       span tracer and write Chrome
+//                                       trace-event JSON loadable in Perfetto
 //   rapilog_chaos --jobs N              fan episodes (and audit pairs) across
 //                                       N worker threads; 0 = all cores.
 //                                       Output is byte-identical to --jobs 1
@@ -37,6 +41,8 @@
 #include "src/faults/chaos/chaos_explorer.h"
 #include "src/faults/chaos/schedule.h"
 #include "src/harness/parallel_runner.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/span_tracer.h"
 
 namespace {
 
@@ -67,6 +73,26 @@ void PrintEpisode(const EpisodeConfig& cfg, const EpisodeOutcome& out) {
   for (const std::string& v : out.violations) {
     std::printf("  VIOLATION: %s\n", v.c_str());
   }
+  if (!out.flight_dump.empty()) {
+    std::printf("  %s", out.flight_dump.c_str());
+  }
+}
+
+// Dedicated traced re-execution: records the episode with the span tracer
+// and writes Chrome trace-event JSON. Kept separate from the campaign run so
+// campaigns never record (and never double-print) — the episode is a pure
+// function of its config, so this re-run reproduces it exactly.
+bool WriteEpisodeTrace(const EpisodeConfig& cfg, const std::string& path) {
+  rlobs::SpanTracer tracer;
+  rlchaos::RunOptions traced;
+  traced.sink = &tracer;
+  rlchaos::RunEpisode(cfg, traced);
+  if (!rlobs::WriteChromeTrace(tracer, path)) {
+    return false;
+  }
+  std::printf("  wrote %s (%zu trace events)\n", path.c_str(),
+              tracer.records().size());
+  return true;
 }
 
 bool WriteTextFile(const std::string& path, const std::string& contents) {
@@ -104,6 +130,17 @@ int ReportAndPersist(const ExplorerReport& report, const std::string& out_dir) {
     if (!out_dir.empty()) {
       WriteScheduleFile(out_dir, f.original, "original");
       WriteScheduleFile(out_dir, f.shrunk.minimal, "minimal");
+      // Post-mortem artifacts: the flight-recorder dump captured when the
+      // shrunk episode's oracle fired, and a Perfetto trace of the minimal
+      // reproducer.
+      std::ostringstream flight_path;
+      flight_path << out_dir << "/chaos-flightrec-seed" << f.original.seed
+                  << ".txt";
+      WriteTextFile(flight_path.str(), f.shrunk.outcome.flight_dump);
+      std::ostringstream trace_path;
+      trace_path << out_dir << "/chaos-trace-seed" << f.original.seed
+                 << ".json";
+      WriteEpisodeTrace(f.shrunk.minimal, trace_path.str());
     }
   }
   return report.ok() ? 0 : 1;
@@ -149,7 +186,8 @@ uint64_t AuditSeeds(uint64_t base, uint64_t episodes,
   return diverged;
 }
 
-int RunReplay(const std::string& path, const rlchaos::RunOptions& run) {
+int RunReplay(const std::string& path, const rlchaos::RunOptions& run,
+              const std::string& trace_out) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot read %s\n", path.c_str());
@@ -166,6 +204,9 @@ int RunReplay(const std::string& path, const rlchaos::RunOptions& run) {
   }
   const EpisodeOutcome out = rlchaos::RunEpisode(cfg, run);
   PrintEpisode(cfg, out);
+  if (!trace_out.empty() && !WriteEpisodeTrace(cfg, trace_out)) {
+    return 2;
+  }
   return out.ok() ? 0 : 1;
 }
 
@@ -182,6 +223,7 @@ int main(int argc, char** argv) {
   rlchaos::RunOptions run;
   std::string replay_path;
   std::string out_dir;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -209,6 +251,8 @@ int main(int argc, char** argv) {
       replay_path = next();
     } else if (arg == "--out") {
       out_dir = next();
+    } else if (arg == "--trace-out") {
+      trace_out = next();
     } else if (arg == "--no-shrink") {
       shrink = false;
     } else if (arg == "--trace") {
@@ -224,7 +268,7 @@ int main(int argc, char** argv) {
   }
 
   if (!replay_path.empty()) {
-    return RunReplay(replay_path, run);
+    return RunReplay(replay_path, run, trace_out);
   }
 
   ExplorerOptions opts;
@@ -286,6 +330,11 @@ int main(int argc, char** argv) {
     // assert determinism by comparing two runs' hashes.
     const EpisodeConfig cfg = rlchaos::GenerateEpisode(seed, opts.gen);
     PrintEpisode(cfg, rlchaos::RunEpisode(cfg, run));
+  }
+  if (!trace_out.empty()) {
+    // Record the base seed's episode in a dedicated traced run, outside the
+    // campaign, so corpus hashes stay independent of tracing.
+    WriteEpisodeTrace(rlchaos::GenerateEpisode(seed, opts.gen), trace_out);
   }
   uint64_t diverged = 0;
   if (audit) {

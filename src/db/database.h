@@ -103,6 +103,7 @@ class Database {
 
   const Stats& stats() const { return stats_; }
   const LogWriter& log_writer() const { return *wal_; }
+  LogWriter& log_writer() { return *wal_; }
   const BufferPool& pool() const { return *pool_; }
   const LockManager& locks() const { return *locks_; }
   const DbOptions& options() const { return options_; }

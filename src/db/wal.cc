@@ -123,6 +123,8 @@ Task<void> LogWriter::WaitDurable(uint64_t lsn) {
   if (durability_ == DurabilityMode::kAsyncUnsafe) {
     co_return;  // the unsafe fast path: trust that the flusher catches up
   }
+  rlsim::SpanScope span(sim_, "wal", "commit-wait",
+                        static_cast<int64_t>(lsn));
   const TimePoint start = sim_.now();
   work_wake_.NotifyAll();
   while (durable_lsn_ < lsn) {
@@ -191,6 +193,8 @@ Task<void> LogWriter::FlusherLoop() {
     const TimePoint cycle_start = sim_.now();
     const uint64_t flush_upto = appended_lsn_;
     const int64_t durable_before = static_cast<int64_t>(durable_lsn_);
+    // End arg: how many records this cycle made durable (0 if it halted).
+    rlsim::SpanScope cycle_span(sim_, "wal", "flush-cycle", 0);
 
     // Snapshot what must go out: all sealed blocks plus the current tail.
     std::vector<SealedBlock> batch;
@@ -238,6 +242,8 @@ Task<void> LogWriter::FlusherLoop() {
       stats_.flush_latency.RecordDuration(sim_.now() - cycle_start);
       stats_.records_per_cycle.Record(static_cast<int64_t>(flush_upto) -
                                       durable_before);
+      cycle_span.set_end_arg(static_cast<int64_t>(flush_upto) -
+                             durable_before);
       durable_wake_.NotifyAll();
     } else {
       // Device unavailable (power loss, injected I/O fault, guest death).

@@ -98,6 +98,7 @@ class LogWriter {
   uint64_t current_block_index() const { return tail_index_; }
 
   const Stats& stats() const { return stats_; }
+  Stats& stats() { return stats_; }
 
  private:
   rlsim::Task<void> FlusherLoop();

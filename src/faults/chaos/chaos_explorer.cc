@@ -9,6 +9,7 @@
 #include "src/db/errors.h"
 #include "src/faults/durability_checker.h"
 #include "src/harness/parallel_runner.h"
+#include "src/obs/flight_recorder.h"
 #include "src/sim/check.h"
 #include "src/sim/simulator.h"
 #include "src/vmm/vm.h"
@@ -388,7 +389,13 @@ std::string EpisodeOutcome::Summary() const {
 EpisodeOutcome RunEpisode(const EpisodeConfig& cfg, const RunOptions& run) {
   EpisodeOutcome out;
   Simulator sim(cfg.seed);
-  sim.set_tracer(run.sink);
+  // Every episode flies with a recorder armed: a bounded ring of recent
+  // trace events, episode-local (so jobs>1 campaigns stay data-race-free),
+  // teed in front of any caller-supplied sink. Purely passive — the
+  // simulation is bit-identical with or without it.
+  rlobs::FlightRecorder flight(512);
+  rlobs::TeeSink tee(&flight, run.sink);
+  sim.set_tracer(&tee);
 
   TestbedOptions opts;
   opts.mode = cfg.mode;
@@ -418,6 +425,9 @@ EpisodeOutcome RunEpisode(const EpisodeConfig& cfg, const RunOptions& run) {
       static_cast<uint64_t>(kv.stats().machine_deaths.value());
   out.end_time_ns = (sim.now() - TimePoint::Origin()).nanos();
   sim.set_tracer(nullptr);
+  if (!out.violations.empty()) {
+    out.flight_dump = flight.Dump();
+  }
   return out;
 }
 

@@ -49,6 +49,10 @@ struct EpisodeOutcome {
   uint64_t audit_sectors_underreplicated = 0;
   int64_t end_time_ns = 0;  // virtual time consumed by the episode
   std::vector<std::string> violations;
+  // Post-mortem: the flight recorder's "last N events before death" dump,
+  // filled only when the episode ends with violations. Excluded from Hash()
+  // — it is derived observability text, not behaviour.
+  std::string flight_dump;
 
   bool ok() const { return violations.empty(); }
   // FNV-1a over every numeric field: two runs of the same config must agree.

@@ -254,9 +254,11 @@ void Testbed::BuildGuestStack() {
   log_backend_->Start();
 
   guest_data_dev_ = std::make_unique<rlvmm::VirtualBlockDevice>(
-      sim_, *vm_, *kernel_, data_ep, data_partition_->geometry());
+      sim_, *vm_, *kernel_, data_ep, data_partition_->geometry(),
+      "guest-data-vblk");
   guest_log_dev_ = std::make_unique<rlvmm::VirtualBlockDevice>(
-      sim_, *vm_, *kernel_, log_ep, log_target->geometry());
+      sim_, *vm_, *kernel_, log_ep, log_target->geometry(),
+      "guest-log-vblk");
 
   cpu_ = std::make_unique<rldb::GuestCpu>(*vm_);
 }

@@ -122,6 +122,9 @@ class Testbed {
   rapilog::RapiLogDevice* rapilog() { return rapilog_.get(); }
   rlpow::PowerSupply& psu() { return *psu_; }
   rlvmm::VirtualMachine* vm() { return vm_.get(); }
+  // Null in kNative mode (no guest stack). The per-stage latency benches
+  // read its request_latency histogram for the VMM leg of the commit path.
+  rlvmm::VirtualBlockDevice* guest_log_dev() { return guest_log_dev_.get(); }
   rlstor::SimBlockDevice& data_disk() { return *data_disk_; }
   rlstor::SimBlockDevice& log_disk_physical() {
     return separate_log_disk_ ? *separate_log_disk_ : *data_disk_;

@@ -1,0 +1,189 @@
+#include "src/obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <vector>
+
+namespace rlobs {
+
+namespace {
+
+// Virtual nanoseconds -> microsecond timestamp string with full ns
+// precision, integer math only ("12345" ns -> "12.345").
+std::string FormatMicros(int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+struct Span {
+  int64_t begin_ns;
+  int64_t end_ns;
+  int64_t begin_arg;
+  int64_t end_arg;
+  uint64_t span_id;
+  size_t begin_seq;  // emission order of the begin record (sort tie-break)
+  uint16_t actor;
+  uint16_t kind;
+  int tid = 0;  // lane, assigned per pid
+};
+
+}  // namespace
+
+std::string ExportChromeTrace(const SpanTracer& tracer) {
+  const std::vector<SpanTracer::Record>& records = tracer.records();
+
+  // pid per actor, in sorted actor-name order (not first-emission order).
+  std::map<std::string, uint16_t> actors;  // name -> intern index
+  for (const SpanTracer::Record& r : records) {
+    actors.emplace(tracer.name(r.actor), r.actor);
+  }
+  std::vector<int> pid_of(tracer.name_count(), 0);
+  int next_pid = 1;
+  for (const auto& [name, intern_idx] : actors) {
+    pid_of[intern_idx] = next_pid++;
+  }
+
+  // Pair begins with ends; close leftovers at the last recorded timestamp.
+  int64_t last_ns = 0;
+  std::vector<Span> spans;
+  std::map<uint64_t, Span> open;  // span_id -> half-built span
+  for (size_t i = 0; i < records.size(); ++i) {
+    const SpanTracer::Record& r = records[i];
+    last_ns = std::max(last_ns, r.at_ns);
+    if (r.type == SpanTracer::EventType::kBegin) {
+      open[r.span_id] =
+          Span{r.at_ns, r.at_ns, r.arg, r.arg, r.span_id, i, r.actor, r.kind};
+    } else if (r.type == SpanTracer::EventType::kEnd) {
+      const auto it = open.find(r.span_id);
+      if (it != open.end()) {
+        it->second.end_ns = r.at_ns;
+        it->second.end_arg = r.arg;
+        spans.push_back(it->second);
+        open.erase(it);
+      }
+    }
+  }
+  for (auto& [id, span] : open) {  // sorted by span_id: deterministic
+    span.end_ns = last_ns;
+    spans.push_back(span);
+  }
+
+  // Greedy lane assignment per pid: walk spans in begin order and put each
+  // on the first lane that is free, so no two spans on one (pid, tid)
+  // overlap (what makes the "X" rendering legible and tracecheck-valid).
+  std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+    if (a.begin_ns != b.begin_ns) {
+      return a.begin_ns < b.begin_ns;
+    }
+    return a.begin_seq < b.begin_seq;
+  });
+  std::map<int, std::vector<int64_t>> lanes;  // pid -> last end per lane
+  for (Span& span : spans) {
+    std::vector<int64_t>& pid_lanes = lanes[pid_of[span.actor]];
+    size_t lane = 0;
+    while (lane < pid_lanes.size() && pid_lanes[lane] > span.begin_ns) {
+      ++lane;
+    }
+    if (lane == pid_lanes.size()) {
+      pid_lanes.push_back(0);
+    }
+    pid_lanes[lane] = span.end_ns;
+    span.tid = static_cast<int>(lane) + 1;
+  }
+
+  // Emit: metadata first, then all events in timestamp order (stable within
+  // a timestamp by emission order), one JSON object per line.
+  std::vector<std::string> lines;
+  char buf[256];
+  for (const auto& [name, intern_idx] : actors) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                  "\"tid\":0,\"args\":{\"name\":\"%s\"}}",
+                  pid_of[intern_idx], JsonEscape(name).c_str());
+    lines.emplace_back(buf);
+  }
+
+  struct Out {
+    int64_t ts_ns;
+    size_t seq;
+    std::string json;
+  };
+  std::vector<Out> events;
+  events.reserve(spans.size() + records.size() / 4);
+  for (const Span& span : spans) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%s,"
+        "\"dur\":%s,\"args\":{\"arg\":%lld,\"end_arg\":%lld,"
+        "\"span_id\":%llu}}",
+        JsonEscape(tracer.name(span.kind)).c_str(), pid_of[span.actor],
+        span.tid, FormatMicros(span.begin_ns).c_str(),
+        FormatMicros(span.end_ns - span.begin_ns).c_str(),
+        static_cast<long long>(span.begin_arg),
+        static_cast<long long>(span.end_arg),
+        static_cast<unsigned long long>(span.span_id));
+    events.push_back(Out{span.begin_ns, span.begin_seq, buf});
+  }
+  for (size_t i = 0; i < records.size(); ++i) {
+    const SpanTracer::Record& r = records[i];
+    if (r.type != SpanTracer::EventType::kInstant) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,"
+                  "\"tid\":0,\"ts\":%s,\"args\":{\"crc\":%lld}}",
+                  JsonEscape(tracer.name(r.kind)).c_str(), pid_of[r.actor],
+                  FormatMicros(r.at_ns).c_str(),
+                  static_cast<long long>(r.arg));
+    events.push_back(Out{r.at_ns, i, buf});
+  }
+  std::sort(events.begin(), events.end(), [](const Out& a, const Out& b) {
+    if (a.ts_ns != b.ts_ns) {
+      return a.ts_ns < b.ts_ns;
+    }
+    return a.seq < b.seq;
+  });
+  for (Out& e : events) {
+    lines.push_back(std::move(e.json));
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  for (size_t i = 0; i < lines.size(); ++i) {
+    out += lines[i];
+    if (i + 1 < lines.size()) {
+      out += ',';
+    }
+    out += '\n';
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool WriteChromeTrace(const SpanTracer& tracer, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << ExportChromeTrace(tracer);
+  return true;
+}
+
+}  // namespace rlobs

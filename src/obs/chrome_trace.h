@@ -1,0 +1,31 @@
+// Chrome trace-event JSON export (Perfetto-loadable).
+//
+// Maps a recorded SpanTracer stream onto the Chrome trace-event format:
+//   - one pid per actor (pids assigned in sorted actor-name order, so the
+//     export is independent of which actor happened to emit first);
+//   - matched begin/end pairs become "X" (complete) events — Chrome's "B"/"E"
+//     duration events demand strict per-thread nesting, which overlapping
+//     simulated operations violate, so each pid instead gets greedy tid
+//     "lanes": a span goes on the first lane whose previous span has ended;
+//   - instants become "i" events on tid 0;
+//   - a "process_name" metadata event labels each pid.
+// Timestamps are virtual microseconds rendered with nanosecond precision via
+// integer math ("%lld.%03lld"), never a float accumulator. One event object
+// per line, so tools/tracecheck can parse the file line-wise.
+#pragma once
+
+#include <string>
+
+#include "src/obs/span_tracer.h"
+
+namespace rlobs {
+
+// Serialises the tracer's records. Unmatched span-begins (run ended with the
+// operation in flight) are closed at the last recorded timestamp.
+std::string ExportChromeTrace(const SpanTracer& tracer);
+
+// ExportChromeTrace to a file. Returns false (and prints to stderr) on I/O
+// failure.
+bool WriteChromeTrace(const SpanTracer& tracer, const std::string& path);
+
+}  // namespace rlobs

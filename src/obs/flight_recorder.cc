@@ -1,0 +1,125 @@
+#include "src/obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "src/sim/check.h"
+
+namespace rlobs {
+
+namespace {
+
+void CopyName(char* dst, size_t dst_size, std::string_view src) {
+  const size_t n = std::min(src.size(), dst_size - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(size_t capacity) : ring_(capacity) {
+  RL_CHECK_MSG(capacity > 0, "FlightRecorder needs capacity >= 1");
+}
+
+void FlightRecorder::Push(char type, rlsim::TimePoint at,
+                          std::string_view actor, std::string_view kind,
+                          uint64_t span_id, int64_t arg) {
+  Entry& e = ring_[next_];
+  e.at_ns = at.nanos();
+  e.span_id = span_id;
+  e.arg = arg;
+  CopyName(e.actor, sizeof(e.actor), actor);
+  CopyName(e.kind, sizeof(e.kind), kind);
+  e.type = type;
+  next_ = (next_ + 1) % ring_.size();
+  ++total_;
+}
+
+void FlightRecorder::OnTraceEvent(rlsim::TimePoint at, std::string_view actor,
+                                  std::string_view kind,
+                                  uint32_t payload_crc) {
+  Push('I', at, actor, kind, 0, static_cast<int64_t>(payload_crc));
+}
+
+void FlightRecorder::OnSpanBegin(rlsim::TimePoint at, std::string_view actor,
+                                 std::string_view kind, uint64_t span_id,
+                                 int64_t arg) {
+  Push('B', at, actor, kind, span_id, arg);
+}
+
+void FlightRecorder::OnSpanEnd(rlsim::TimePoint at, std::string_view actor,
+                               std::string_view kind, uint64_t span_id,
+                               int64_t arg) {
+  Push('E', at, actor, kind, span_id, arg);
+}
+
+size_t FlightRecorder::size() const {
+  return total_ < ring_.size() ? static_cast<size_t>(total_) : ring_.size();
+}
+
+std::string FlightRecorder::Dump() const {
+  const size_t held = size();
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "flight recorder: last %zu of %llu events\n", held,
+                static_cast<unsigned long long>(total_));
+  out += line;
+  // Oldest entry: with a full ring, next_ points at it; otherwise index 0.
+  const size_t start = total_ > ring_.size() ? next_ : 0;
+  for (size_t i = 0; i < held; ++i) {
+    const Entry& e = ring_[(start + i) % ring_.size()];
+    std::snprintf(line, sizeof(line), "  %-14s %c  %s/%s",
+                  rlsim::ToString(rlsim::TimePoint::FromNanos(e.at_ns)).c_str(),
+                  e.type, e.actor, e.kind);
+    out += line;
+    if (e.span_id != 0) {
+      std::snprintf(line, sizeof(line), " span=%llu",
+                    static_cast<unsigned long long>(e.span_id));
+      out += line;
+    }
+    std::snprintf(line, sizeof(line), " arg=%lld\n",
+                  static_cast<long long>(e.arg));
+    out += line;
+  }
+  return out;
+}
+
+void FlightRecorder::Clear() {
+  next_ = 0;
+  total_ = 0;
+}
+
+void TeeSink::OnTraceEvent(rlsim::TimePoint at, std::string_view actor,
+                           std::string_view kind, uint32_t payload_crc) {
+  if (primary_ != nullptr) {
+    primary_->OnTraceEvent(at, actor, kind, payload_crc);
+  }
+  if (secondary_ != nullptr) {
+    secondary_->OnTraceEvent(at, actor, kind, payload_crc);
+  }
+}
+
+void TeeSink::OnSpanBegin(rlsim::TimePoint at, std::string_view actor,
+                          std::string_view kind, uint64_t span_id,
+                          int64_t arg) {
+  if (primary_ != nullptr) {
+    primary_->OnSpanBegin(at, actor, kind, span_id, arg);
+  }
+  if (secondary_ != nullptr) {
+    secondary_->OnSpanBegin(at, actor, kind, span_id, arg);
+  }
+}
+
+void TeeSink::OnSpanEnd(rlsim::TimePoint at, std::string_view actor,
+                        std::string_view kind, uint64_t span_id, int64_t arg) {
+  if (primary_ != nullptr) {
+    primary_->OnSpanEnd(at, actor, kind, span_id, arg);
+  }
+  if (secondary_ != nullptr) {
+    secondary_->OnSpanEnd(at, actor, kind, span_id, arg);
+  }
+}
+
+}  // namespace rlobs

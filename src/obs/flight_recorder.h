@@ -1,0 +1,90 @@
+// Bounded flight recorder: the last N trace events, always affordable.
+//
+// Unlike SpanTracer (unbounded, string-interning, meant for deliberate trace
+// captures), FlightRecorder is a fixed-size ring of POD entries preallocated
+// up front — cheap enough for the chaos explorer to keep one armed on every
+// episode. When an oracle fails, Dump() reconstructs the "last N events
+// before death" post-mortem without the episode having been traced at all.
+//
+// TeeSink fans one simulator trace stream out to two sinks, so the flight
+// recorder can ride alongside a user-supplied tracer (or the divergence
+// auditor's digest recorder) without either knowing about the other.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/trace.h"
+
+namespace rlobs {
+
+class FlightRecorder : public rlsim::TraceEventSink {
+ public:
+  explicit FlightRecorder(size_t capacity = 256);
+
+  void OnTraceEvent(rlsim::TimePoint at, std::string_view actor,
+                    std::string_view kind, uint32_t payload_crc) override;
+  void OnSpanBegin(rlsim::TimePoint at, std::string_view actor,
+                   std::string_view kind, uint64_t span_id,
+                   int64_t arg) override;
+  void OnSpanEnd(rlsim::TimePoint at, std::string_view actor,
+                 std::string_view kind, uint64_t span_id,
+                 int64_t arg) override;
+
+  // Events currently held (<= capacity).
+  size_t size() const;
+  // Events ever observed, including those the ring has overwritten.
+  uint64_t total_events() const { return total_; }
+  size_t capacity() const { return ring_.size(); }
+
+  // Oldest-to-newest, one line per event:
+  //   "  +1.250ms      I  log-disk/medium-write arg=123456"
+  // (I = instant, B = span begin, E = span end). Prefixed with a header
+  // noting how many earlier events the ring dropped.
+  std::string Dump() const;
+
+  void Clear();
+
+ private:
+  // Fixed-width name copies keep entries POD; component names in this repo
+  // are short and a truncated name is still unambiguous in a post-mortem.
+  struct Entry {
+    int64_t at_ns;
+    uint64_t span_id;
+    int64_t arg;
+    char actor[24];
+    char kind[28];
+    char type;  // 'I' / 'B' / 'E'
+  };
+
+  void Push(char type, rlsim::TimePoint at, std::string_view actor,
+            std::string_view kind, uint64_t span_id, int64_t arg);
+
+  std::vector<Entry> ring_;
+  size_t next_ = 0;
+  uint64_t total_ = 0;
+};
+
+// Forwards every event to `primary` and `secondary`; either may be null.
+class TeeSink : public rlsim::TraceEventSink {
+ public:
+  TeeSink(rlsim::TraceEventSink* primary, rlsim::TraceEventSink* secondary)
+      : primary_(primary), secondary_(secondary) {}
+
+  void OnTraceEvent(rlsim::TimePoint at, std::string_view actor,
+                    std::string_view kind, uint32_t payload_crc) override;
+  void OnSpanBegin(rlsim::TimePoint at, std::string_view actor,
+                   std::string_view kind, uint64_t span_id,
+                   int64_t arg) override;
+  void OnSpanEnd(rlsim::TimePoint at, std::string_view actor,
+                 std::string_view kind, uint64_t span_id,
+                 int64_t arg) override;
+
+ private:
+  rlsim::TraceEventSink* primary_;
+  rlsim::TraceEventSink* secondary_;
+};
+
+}  // namespace rlobs

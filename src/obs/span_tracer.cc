@@ -1,0 +1,47 @@
+#include "src/obs/span_tracer.h"
+
+#include "src/sim/check.h"
+
+namespace rlobs {
+
+uint16_t SpanTracer::Intern(std::string_view s) {
+  const auto it = index_.find(s);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  RL_CHECK_MSG(names_.size() < UINT16_MAX,
+               "SpanTracer interning table overflow");
+  const uint16_t id = static_cast<uint16_t>(names_.size());
+  names_.emplace_back(s);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+void SpanTracer::OnTraceEvent(rlsim::TimePoint at, std::string_view actor,
+                              std::string_view kind, uint32_t payload_crc) {
+  records_.push_back(Record{at.nanos(), 0,
+                            static_cast<int64_t>(payload_crc), Intern(actor),
+                            Intern(kind), EventType::kInstant});
+}
+
+void SpanTracer::OnSpanBegin(rlsim::TimePoint at, std::string_view actor,
+                             std::string_view kind, uint64_t span_id,
+                             int64_t arg) {
+  records_.push_back(Record{at.nanos(), span_id, arg, Intern(actor),
+                            Intern(kind), EventType::kBegin});
+}
+
+void SpanTracer::OnSpanEnd(rlsim::TimePoint at, std::string_view actor,
+                           std::string_view kind, uint64_t span_id,
+                           int64_t arg) {
+  records_.push_back(Record{at.nanos(), span_id, arg, Intern(actor),
+                            Intern(kind), EventType::kEnd});
+}
+
+void SpanTracer::Clear() {
+  index_.clear();
+  names_.clear();
+  records_.clear();
+}
+
+}  // namespace rlobs

@@ -1,0 +1,67 @@
+// In-memory span recorder.
+//
+// SpanTracer is the full-fidelity TraceEventSink: it keeps every instant,
+// span-begin and span-end event a run emits, with actor/kind strings interned
+// once so a multi-million-event run stores 40-byte POD records, not strings.
+// The recorded stream is what src/obs/chrome_trace.h serialises to Chrome
+// trace-event JSON for Perfetto.
+//
+// Determinism: the tracer is purely passive (never re-enters the simulator),
+// interning uses a sorted std::map, and record order is exactly the
+// simulator's deterministic emission order — recording a run twice from the
+// same seed yields byte-identical exports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/trace.h"
+
+namespace rlobs {
+
+class SpanTracer : public rlsim::TraceEventSink {
+ public:
+  enum class EventType : uint8_t {
+    kInstant = 0,
+    kBegin = 1,
+    kEnd = 2,
+  };
+
+  struct Record {
+    int64_t at_ns;
+    uint64_t span_id;  // 0 for instants
+    int64_t arg;       // payload CRC for instants, caller arg for spans
+    uint16_t actor;    // index into names()
+    uint16_t kind;     // index into names()
+    EventType type;
+  };
+
+  void OnTraceEvent(rlsim::TimePoint at, std::string_view actor,
+                    std::string_view kind, uint32_t payload_crc) override;
+  void OnSpanBegin(rlsim::TimePoint at, std::string_view actor,
+                   std::string_view kind, uint64_t span_id,
+                   int64_t arg) override;
+  void OnSpanEnd(rlsim::TimePoint at, std::string_view actor,
+                 std::string_view kind, uint64_t span_id,
+                 int64_t arg) override;
+
+  const std::vector<Record>& records() const { return records_; }
+  const std::string& name(uint16_t index) const { return names_[index]; }
+  size_t name_count() const { return names_.size(); }
+
+  void Clear();
+
+ private:
+  uint16_t Intern(std::string_view s);
+
+  // Interning table: name -> index into names_. std::less<> enables lookup
+  // by string_view without constructing a std::string per event.
+  std::map<std::string, uint16_t, std::less<>> index_;
+  std::vector<std::string> names_;
+  std::vector<Record> records_;
+};
+
+}  // namespace rlobs

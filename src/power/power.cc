@@ -41,6 +41,7 @@ void PowerSupply::CutMains() {
   }
   mains_on_ = false;
   const uint64_t id = ++outage_id_;
+  sim_.EmitTrace("psu", "mains-cut", static_cast<uint32_t>(id));
   sim_.Schedule(params_.warning_latency, [this, id] { DeliverWarning(id); });
   sim_.Schedule(HoldupWindow(), [this, id] { DropRails(id); });
 }
@@ -50,6 +51,8 @@ void PowerSupply::DeliverWarning(uint64_t outage_id) {
     return;  // outage was absorbed before the warning fired
   }
   const Duration remaining = HoldupWindow() - params_.warning_latency;
+  sim_.EmitTrace("psu", "power-fail-warning",
+                 static_cast<uint32_t>(remaining.micros()));
   for (PowerSink* sink : sinks_) {
     sink->OnPowerFailWarning(remaining);
   }
@@ -60,6 +63,7 @@ void PowerSupply::DropRails(uint64_t outage_id) {
     return;
   }
   rails_on_ = false;
+  sim_.EmitTrace("psu", "rails-down", static_cast<uint32_t>(outage_id));
   for (PowerSink* sink : sinks_) {
     sink->OnPowerDown();
   }
@@ -73,10 +77,13 @@ void PowerSupply::RestoreMains() {
   ++outage_id_;  // invalidate scheduled warning/drop from the cut
   if (!rails_on_) {
     rails_on_ = true;
+    sim_.EmitTrace("psu", "mains-restore", static_cast<uint32_t>(outage_id_));
     for (PowerSink* sink : sinks_) {
       sink->OnPowerRestore();
     }
   } else {
+    sim_.EmitTrace("psu", "outage-absorbed",
+                   static_cast<uint32_t>(outage_id_));
     for (PowerSink* sink : sinks_) {
       sink->OnOutageAbsorbed();
     }

@@ -52,6 +52,9 @@ Task<BlockStatus> RapiLogDevice::Write(uint64_t lba,
     co_return BlockStatus::kDeviceOff;
   }
   const rlsim::TimePoint start = sim_.now();
+  // Guest-facing cost of a buffered write: admission wait + ack latency.
+  rlsim::SpanScope span(sim_, "rapilog", "buffer-ack",
+                        static_cast<int64_t>(data.size()));
 
   // Tail-block absorption: the WAL rewrites its last partially-filled block;
   // superseding it in place avoids draining every intermediate version.
@@ -184,8 +187,13 @@ Task<void> RapiLogDevice::DrainLoop() {
       payload.insert(payload.end(), data.begin(), data.end());
     }
     const uint64_t run_lba = run.front().first;
-    const BlockStatus st =
-        co_await log_disk_.Write(run_lba, payload, /*fua=*/true);
+    BlockStatus st;
+    {
+      // The hold-up-critical physical write behind the guest's back.
+      rlsim::SpanScope drain_span(sim_, "rapilog", "drain-write",
+                                  static_cast<int64_t>(payload.size()));
+      st = co_await log_disk_.Write(run_lba, payload, /*fua=*/true);
+    }
     if (!powered_) {
       continue;  // rails dropped mid-write; OnPowerDown handles the fallout
     }
@@ -224,6 +232,8 @@ void RapiLogDevice::OnPowerFailWarning(rlsim::Duration time_remaining) {
   }
   emergency_ = true;
   stats_.emergency_flushes.Add();
+  sim_.EmitTrace("rapilog", "emergency-flush",
+                 static_cast<uint32_t>(buffered_bytes_));
   // Seal the disk for the emergency flush: the trusted driver discards the
   // dead guest's queued requests so the drain is not stuck behind them.
   log_disk_.EnterEmergencyMode();
@@ -240,6 +250,8 @@ void RapiLogDevice::OnOutageAbsorbed() {
 
 void RapiLogDevice::OnPowerDown() {
   powered_ = false;
+  sim_.EmitTrace("rapilog", "power-down",
+                 static_cast<uint32_t>(buffered_bytes_));
   if (buffered_bytes_ > 0) {
     // Acknowledged data died in volatile memory — the failure RapiLog
     // exists to prevent. Recorded, not thrown: the ablation experiments

@@ -121,6 +121,7 @@ class RapiLogDevice : public rlstor::BlockDevice, public rlpow::PowerSink {
   bool lost_data() const { return stats_.lost_bytes.value() > 0; }
 
   const Stats& stats() const { return stats_; }
+  Stats& stats() { return stats_; }
 
  private:
   struct Entry {

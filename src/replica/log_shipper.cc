@@ -64,6 +64,7 @@ void LogShipper::Ship(uint64_t lba, std::span<const uint8_t> data) {
   stats_.blocks_shipped.Add();
   stats_.bytes_shipped.Add(static_cast<int64_t>(data.size()));
   stats_.lag_blocks.Record(static_cast<int64_t>(next_seq_ - quorum_cursor_));
+  sim_.EmitTrace(self_name_, "ship-block", static_cast<uint32_t>(seq));
 
   for (const Peer& peer : peers_) {
     fabric_.Send(self_name_, peer.name, frame);
@@ -89,6 +90,8 @@ Task<BlockStatus> LogShipper::Write(uint64_t lba,
   }
   if (options_.mode == ShipMode::kQuorumAck && fua) {
     // FUA is a durability point: honour it across the quorum as well.
+    rlsim::SpanScope span(sim_, self_name_, "quorum-wait",
+                          static_cast<int64_t>(shipped_upto));
     const TimePoint t0 = sim_.now();
     const bool ok = co_await WaitQuorumUpTo(shipped_upto);
     stats_.quorum_wait.RecordDuration(sim_.now() - t0);
@@ -109,6 +112,8 @@ Task<BlockStatus> LogShipper::Flush() {
     co_return st;
   }
   if (options_.mode == ShipMode::kQuorumAck && shipped_upto > 0) {
+    rlsim::SpanScope span(sim_, self_name_, "quorum-wait",
+                          static_cast<int64_t>(shipped_upto));
     const TimePoint t0 = sim_.now();
     const bool ok = co_await WaitQuorumUpTo(shipped_upto);
     stats_.quorum_wait.RecordDuration(sim_.now() - t0);
@@ -217,6 +222,10 @@ void LogShipper::ResendTo(Peer& peer) {
                "window trimmed past an unacked cursor for " << peer.name);
   const uint64_t end =
       std::min(next_seq_, peer.cursor + options_.max_resend_batch);
+  if (end > peer.cursor) {
+    sim_.EmitTrace(self_name_, "retransmit",
+                   static_cast<uint32_t>(end - peer.cursor));
+  }
   for (uint64_t seq = peer.cursor; seq < end; ++seq) {
     fabric_.Send(self_name_, peer.name, window_[seq - base].frame);
     stats_.retransmits.Add();

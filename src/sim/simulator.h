@@ -88,6 +88,30 @@ class Simulator {
     }
   }
 
+  // Opens a span at the current virtual time and returns its id (0 with no
+  // tracer installed — the null fast path costs one branch). Span ids are
+  // observability state only: they never feed back into the simulation, so
+  // behaviour is identical with tracing on or off.
+  uint64_t EmitSpanBegin(std::string_view actor, std::string_view kind,
+                         int64_t arg = 0) {
+    if (tracer_ == nullptr) {
+      return 0;
+    }
+    const uint64_t id = ++next_span_id_;
+    tracer_->OnSpanBegin(now_, actor, kind, id, arg);
+    return id;
+  }
+
+  // Closes a span previously opened with EmitSpanBegin. Accepts id 0 (span
+  // was never opened because no tracer was installed) as a no-op.
+  void EmitSpanEnd(uint64_t span_id, std::string_view actor,
+                   std::string_view kind, int64_t arg = 0) {
+    if (tracer_ == nullptr || span_id == 0) {
+      return;
+    }
+    tracer_->OnSpanEnd(now_, actor, kind, span_id, arg);
+  }
+
  private:
   // Event storage is split hot/cold to keep per-event cost off the schedule
   // path. The heap orders small POD entries (24 bytes — cheap to sift);
@@ -137,6 +161,38 @@ class Simulator {
   std::vector<RootTask> roots_;
   Rng rng_;
   TraceEventSink* tracer_ = nullptr;
+  uint64_t next_span_id_ = 0;
+};
+
+// RAII span: begins on construction, ends on destruction — including when a
+// coroutine frame unwinds through an exception (a commit that dies mid-path
+// still closes its spans at the unwind's virtual time). The actor and kind
+// string storage must outlive the scope (string literals and long-lived
+// component names both qualify).
+class SpanScope {
+ public:
+  SpanScope(Simulator& sim, std::string_view actor, std::string_view kind,
+            int64_t arg = 0)
+      : sim_(sim),
+        actor_(actor),
+        kind_(kind),
+        id_(sim.EmitSpanBegin(actor, kind, arg)),
+        end_arg_(arg) {}
+  ~SpanScope() { sim_.EmitSpanEnd(id_, actor_, kind_, end_arg_); }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  // Overrides the argument reported on the end event (e.g. a status code or
+  // the number of records the cycle actually flushed).
+  void set_end_arg(int64_t arg) { end_arg_ = arg; }
+
+ private:
+  Simulator& sim_;
+  std::string_view actor_;
+  std::string_view kind_;
+  uint64_t id_;
+  int64_t end_arg_;
 };
 
 }  // namespace rlsim

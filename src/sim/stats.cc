@@ -68,8 +68,14 @@ void Histogram::AddSquares(double value) {
   sum_squares_ = t;
 }
 
-int64_t Histogram::min() const { return count_ > 0 ? min_ : 0; }
-int64_t Histogram::max() const { return count_ > 0 ? max_ : 0; }
+int64_t Histogram::min() const {
+  RL_CHECK_MSG(count_ > 0, "Histogram::min() on empty histogram");
+  return min_;
+}
+int64_t Histogram::max() const {
+  RL_CHECK_MSG(count_ > 0, "Histogram::max() on empty histogram");
+  return max_;
+}
 
 double Histogram::Mean() const {
   return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_)
@@ -136,6 +142,9 @@ void Histogram::Merge(const Histogram& other) {
 }
 
 std::string Histogram::Summary() const {
+  if (count_ == 0) {
+    return "n=0 (empty)";
+  }
   char buf[160];
   std::snprintf(buf, sizeof(buf),
                 "n=%lld mean=%.1f p50=%lld p95=%lld p99=%lld max=%lld",
@@ -204,7 +213,87 @@ std::string StatsRegistry::Format() const {
 
 void StatsRegistry::Print() const { std::fputs(Format().c_str(), stdout); }
 
+namespace {
+
+void AppendJsonKey(std::string& out, const std::string& name) {
+  // Stat names are component-chosen identifiers ("wal.commit_wait"); escape
+  // the two JSON-hostile characters anyway so a stray quote can't produce an
+  // unparsable snapshot.
+  out += '"';
+  for (const char c : name) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string StatsRegistry::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  char buf[64];
+  auto sep = [&out, &first] {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+  };
+  // Same merged name-sorted walk as Format(), so JSON key order matches the
+  // human-readable block line for line.
+  auto c = counters_.begin();
+  auto h = histograms_.begin();
+  while (c != counters_.end() || h != histograms_.end()) {
+    const bool take_counter =
+        h == histograms_.end() ||
+        (c != counters_.end() && c->first < h->first);
+    sep();
+    if (take_counter) {
+      AppendJsonKey(out, c->first);
+      std::snprintf(buf, sizeof(buf), ":%lld",
+                    static_cast<long long>(c->second->value()));
+      out += buf;
+      ++c;
+    } else {
+      const Histogram& hist = *h->second.histogram;
+      AppendJsonKey(out, h->first);
+      if (hist.empty()) {
+        out += ":{\"count\":0}";
+      } else {
+        std::snprintf(buf, sizeof(buf), ":{\"count\":%lld",
+                      static_cast<long long>(hist.count()));
+        out += buf;
+        std::snprintf(buf, sizeof(buf), ",\"mean\":%.6g", hist.Mean());
+        out += buf;
+        std::snprintf(buf, sizeof(buf), ",\"min\":%lld",
+                      static_cast<long long>(hist.min()));
+        out += buf;
+        std::snprintf(buf, sizeof(buf), ",\"max\":%lld",
+                      static_cast<long long>(hist.max()));
+        out += buf;
+        std::snprintf(buf, sizeof(buf), ",\"p50\":%lld",
+                      static_cast<long long>(hist.Percentile(50)));
+        out += buf;
+        std::snprintf(buf, sizeof(buf), ",\"p95\":%lld",
+                      static_cast<long long>(hist.Percentile(95)));
+        out += buf;
+        std::snprintf(buf, sizeof(buf), ",\"p99\":%lld}",
+                      static_cast<long long>(hist.Percentile(99)));
+        out += buf;
+      }
+      ++h;
+    }
+  }
+  out += '}';
+  return out;
+}
+
 std::string Histogram::DurationSummary() const {
+  if (count_ == 0) {
+    return "n=0 (empty)";
+  }
   char buf[200];
   std::snprintf(
       buf, sizeof(buf), "n=%lld mean=%s p50=%s p95=%s p99=%s max=%s",

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,10 @@ class Histogram {
   void RecordDuration(Duration d) { Record(d.nanos()); }
 
   int64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  // min()/max() are only defined over at least one observation; calling them
+  // on an empty histogram is a checked error (the old behaviour silently
+  // reported the zero-initialised defaults as if they were data).
   int64_t min() const;
   int64_t max() const;
   double Mean() const;
@@ -46,7 +51,8 @@ class Histogram {
   void Reset();
   void Merge(const Histogram& other);
 
-  // One-line summary: count/mean/p50/p95/p99/max.
+  // One-line summary: count/mean/p50/p95/p99/max ("n=0 (empty)" when no
+  // observations were recorded).
   std::string Summary() const;
   // Same, formatted as durations.
   std::string DurationSummary() const;
@@ -93,6 +99,12 @@ class StatsRegistry {
   std::string Format() const;
   void Print() const;  // Format() to stdout
 
+  // Machine-readable snapshot, name-sorted like Format(): counters render as
+  // integers, histograms as {"count","mean","min","max","p50","p95","p99"}
+  // objects (just {"count":0} when empty). Deterministic for a given set of
+  // stat values — std::map iteration order, fixed %.6g float formatting.
+  std::string ToJson() const;
+
   size_t size() const { return counters_.size() + histograms_.size(); }
 
  private:
@@ -110,17 +122,30 @@ class RateMeter {
   void Start(TimePoint now) {
     start_ = now;
     events_ = 0;
+    started_ = true;
   }
   void Tick(int64_t n = 1) { events_ += n; }
   int64_t events() const { return events_; }
-  double PerSecond(TimePoint now) const {
+  bool started() const { return started_; }
+  // nullopt when there is no measurement window (Start() never called, or
+  // `now` has not advanced past the start); 0.0 means a real measured rate
+  // of zero events over a positive window. The old API returned 0.0 for
+  // both, making "meter misused" indistinguishable from "nothing happened".
+  std::optional<double> PerSecond(TimePoint now) const {
+    if (!started_) {
+      return std::nullopt;
+    }
     const double secs = (now - start_).ToSecondsF();
-    return secs > 0 ? static_cast<double>(events_) / secs : 0.0;
+    if (secs <= 0) {
+      return std::nullopt;
+    }
+    return static_cast<double>(events_) / secs;
   }
 
  private:
   TimePoint start_ = TimePoint::Origin();
   int64_t events_ = 0;
+  bool started_ = false;
 };
 
 }  // namespace rlsim

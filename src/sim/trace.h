@@ -7,6 +7,15 @@
 // from the same seed and compares the two event streams to pinpoint the
 // first nondeterministic event — the dynamic cross-check behind the simlint
 // static determinism rules.
+//
+// Besides instant events, sinks can observe *spans*: begin/end pairs carrying
+// an actor, a kind, a simulator-assigned span id and a small integer
+// argument. Spans decompose a commit's virtual-time cost into per-stage
+// durations (guest WAL wait -> VMM transit -> RapiLog buffer -> physical
+// medium -> ack); src/obs/span_tracer.h records them and
+// src/obs/chrome_trace.h exports them as Chrome trace-event JSON for
+// Perfetto. The span hooks default to no-ops so digest-only sinks (the
+// DivergenceAuditor's recorder) are unaffected.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +36,29 @@ class TraceEventSink {
   // execution order; the sink must not re-enter the simulator.
   virtual void OnTraceEvent(TimePoint at, std::string_view actor,
                             std::string_view kind, uint32_t payload_crc) = 0;
+
+  // Span protocol. `span_id` pairs a begin with its end and is unique per
+  // simulator; `arg` is whatever small integer identifies the operation
+  // (bytes, LBA, record count). The same prohibition applies: a sink must
+  // not re-enter the simulator from these callbacks.
+  virtual void OnSpanBegin(TimePoint at, std::string_view actor,
+                           std::string_view kind, uint64_t span_id,
+                           int64_t arg) {
+    (void)at;
+    (void)actor;
+    (void)kind;
+    (void)span_id;
+    (void)arg;
+  }
+  virtual void OnSpanEnd(TimePoint at, std::string_view actor,
+                         std::string_view kind, uint64_t span_id,
+                         int64_t arg) {
+    (void)at;
+    (void)actor;
+    (void)kind;
+    (void)span_id;
+    (void)arg;
+  }
 };
 
 }  // namespace rlsim

@@ -80,6 +80,8 @@ Task<BlockStatus> SimBlockDevice::Read(uint64_t lba, std::span<uint8_t> out) {
     co_return BlockStatus::kDeviceOff;
   }
   const TimePoint start = sim_.now();
+  rlsim::SpanScope span(sim_, options_.name, "io-read",
+                        static_cast<int64_t>(lba));
   const uint32_t sectors = static_cast<uint32_t>(out.size() / kSectorSize);
 
   bool all_cached = options_.cache_policy != WriteCachePolicy::kWriteThrough;
@@ -148,12 +150,15 @@ Task<BlockStatus> SimBlockDevice::Write(uint64_t lba,
     co_return BlockStatus::kIoError;
   }
   const TimePoint start = sim_.now();
+  rlsim::SpanScope span(sim_, options_.name, "io-write",
+                        static_cast<int64_t>(lba));
   BlockStatus status;
   if (options_.cache_policy == WriteCachePolicy::kWriteThrough || fua) {
     status = co_await WriteThroughPath(lba, data, fua);
   } else {
     status = co_await CachedPath(lba, data);
   }
+  span.set_end_arg(static_cast<int64_t>(status));
   if (status == BlockStatus::kOk) {
     stats_.writes.Add();
     stats_.write_latency.RecordDuration(sim_.now() - start);
@@ -231,6 +236,7 @@ Task<BlockStatus> SimBlockDevice::Flush() {
     co_return BlockStatus::kDeviceOff;
   }
   const TimePoint start = sim_.now();
+  rlsim::SpanScope span(sim_, options_.name, "io-flush", 0);
   if (options_.cache_policy == WriteCachePolicy::kWriteBack) {
     while (powered_ && (!dirty_fifo_.empty() || destage_active_)) {
       co_await flush_done_.Wait();

@@ -106,6 +106,7 @@ class SimBlockDevice : public BlockDevice {
   const DiskImage& image() const { return image_; }
 
   const Stats& stats() const { return stats_; }
+  Stats& stats() { return stats_; }
   const Options& options() const { return options_; }
   uint64_t dirty_sectors() const { return dirty_fifo_.size(); }
 

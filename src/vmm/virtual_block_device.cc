@@ -71,15 +71,22 @@ VirtualBlockDevice::VirtualBlockDevice(rlsim::Simulator& sim,
                                        VirtualMachine& vm,
                                        rlkern::Kernel& kernel,
                                        rlkern::SlotAddr backend_ep,
-                                       rlstor::Geometry geometry)
+                                       rlstor::Geometry geometry,
+                                       std::string name)
     : sim_(sim),
       vm_(vm),
       kernel_(kernel),
       backend_ep_(backend_ep),
-      geometry_(geometry) {}
+      geometry_(geometry),
+      name_(std::move(name)) {}
 
 Task<BlockStatus> VirtualBlockDevice::Transact(IpcMessage msg,
-                                               std::span<uint8_t> read_out) {
+                                               std::span<uint8_t> read_out,
+                                               std::string_view kind,
+                                               int64_t arg) {
+  // Covers the whole guest-observed request: VM exit, backend IPC, physical
+  // I/O, and completion-interrupt injection.
+  rlsim::SpanScope span(sim_, name_, kind, arg);
   const uint64_t incarnation = vm_.incarnation();
   const rlsim::TimePoint start = sim_.now();
   co_await vm_.VmExit();
@@ -110,7 +117,8 @@ Task<BlockStatus> VirtualBlockDevice::Read(uint64_t lba,
   msg.label = kBlkRead;
   msg.words = {lba, out.size() / kSectorSize, 0};
   stats_.reads.Add();
-  co_return co_await Transact(std::move(msg), out);
+  co_return co_await Transact(std::move(msg), out, "vblk-read",
+                              static_cast<int64_t>(lba));
 }
 
 Task<BlockStatus> VirtualBlockDevice::Write(uint64_t lba,
@@ -121,7 +129,8 @@ Task<BlockStatus> VirtualBlockDevice::Write(uint64_t lba,
   msg.words = {lba, data.size() / kSectorSize, fua ? 1u : 0u};
   msg.payload.assign(data.begin(), data.end());
   stats_.writes.Add();
-  co_return co_await Transact(std::move(msg), {});
+  co_return co_await Transact(std::move(msg), {}, "vblk-write",
+                              static_cast<int64_t>(lba));
 }
 
 Task<BlockStatus> VirtualBlockDevice::Flush() {
@@ -129,7 +138,7 @@ Task<BlockStatus> VirtualBlockDevice::Flush() {
   msg.label = kBlkFlush;
   msg.words = {0, 0, 0};
   stats_.flushes.Add();
-  co_return co_await Transact(std::move(msg), {});
+  co_return co_await Transact(std::move(msg), {}, "vblk-flush", 0);
 }
 
 }  // namespace rlvmm

@@ -66,9 +66,11 @@ class VirtualBlockDevice : public rlstor::BlockDevice {
     rlsim::Histogram request_latency;  // ns, guest-observed
   };
 
+  // `name` labels this device's trace spans ("guest-log-vblk" etc.), so a
+  // testbed with several virtual disks stays distinguishable in a trace.
   VirtualBlockDevice(rlsim::Simulator& sim, VirtualMachine& vm,
                      rlkern::Kernel& kernel, rlkern::SlotAddr backend_ep,
-                     rlstor::Geometry geometry);
+                     rlstor::Geometry geometry, std::string name = "vblk");
 
   const rlstor::Geometry& geometry() const override { return geometry_; }
 
@@ -80,16 +82,20 @@ class VirtualBlockDevice : public rlstor::BlockDevice {
   rlsim::Task<rlstor::BlockStatus> Flush() override;
 
   const Stats& stats() const { return stats_; }
+  Stats& stats() { return stats_; }
 
  private:
   rlsim::Task<rlstor::BlockStatus> Transact(rlkern::IpcMessage msg,
-                                            std::span<uint8_t> read_out);
+                                            std::span<uint8_t> read_out,
+                                            std::string_view kind,
+                                            int64_t arg);
 
   rlsim::Simulator& sim_;
   VirtualMachine& vm_;
   rlkern::Kernel& kernel_;
   rlkern::SlotAddr backend_ep_;
   rlstor::Geometry geometry_;
+  std::string name_;
   Stats stats_;
 };
 

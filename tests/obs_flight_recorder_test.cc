@@ -1,0 +1,103 @@
+#include "src/obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/span_tracer.h"
+#include "src/sim/simulator.h"
+
+namespace rlobs {
+namespace {
+
+using rlsim::Duration;
+using rlsim::Simulator;
+using rlsim::TimePoint;
+
+TEST(FlightRecorderTest, KeepsEverythingBelowCapacity) {
+  FlightRecorder rec(8);
+  rec.OnTraceEvent(TimePoint::Origin() + Duration::Micros(1), "disk",
+                   "destage", 1);
+  rec.OnSpanBegin(TimePoint::Origin() + Duration::Micros(2), "wal",
+                  "commit-wait", 1, 10);
+  rec.OnSpanEnd(TimePoint::Origin() + Duration::Micros(3), "wal",
+                "commit-wait", 1, 11);
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.total_events(), 3u);
+
+  const std::string dump = rec.Dump();
+  EXPECT_NE(dump.find("last 3 of 3 events"), std::string::npos);
+  EXPECT_NE(dump.find("disk/destage"), std::string::npos);
+  EXPECT_NE(dump.find("wal/commit-wait"), std::string::npos);
+  // Begin and end markers with the span id.
+  EXPECT_NE(dump.find(" B "), std::string::npos);
+  EXPECT_NE(dump.find(" E "), std::string::npos);
+  EXPECT_NE(dump.find("span=1"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, RingDropsOldestBeyondCapacity) {
+  FlightRecorder rec(4);
+  for (int i = 0; i < 10; ++i) {
+    rec.OnTraceEvent(TimePoint::Origin() + Duration::Micros(i), "a",
+                     "ev" + std::to_string(i), 0);
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.total_events(), 10u);
+
+  const std::string dump = rec.Dump();
+  EXPECT_NE(dump.find("last 4 of 10 events"), std::string::npos);
+  EXPECT_EQ(dump.find("a/ev5"), std::string::npos);  // overwritten
+  EXPECT_NE(dump.find("a/ev6"), std::string::npos);  // oldest survivor
+  EXPECT_NE(dump.find("a/ev9"), std::string::npos);  // newest
+  // Oldest-to-newest order.
+  EXPECT_LT(dump.find("a/ev6"), dump.find("a/ev9"));
+}
+
+TEST(FlightRecorderTest, LongNamesAreTruncatedNotCorrupted) {
+  FlightRecorder rec(2);
+  const std::string long_actor(64, 'x');
+  rec.OnTraceEvent(TimePoint::Origin(), long_actor, "k", 0);
+  const std::string dump = rec.Dump();
+  // 23 chars + NUL fit the fixed-width field.
+  EXPECT_NE(dump.find(std::string(23, 'x') + "/k"), std::string::npos);
+  EXPECT_EQ(dump.find(std::string(24, 'x')), std::string::npos);
+}
+
+TEST(FlightRecorderTest, ClearEmptiesTheRing) {
+  FlightRecorder rec(4);
+  rec.OnTraceEvent(TimePoint::Origin(), "a", "b", 0);
+  rec.Clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.total_events(), 0u);
+  EXPECT_NE(rec.Dump().find("last 0 of 0 events"), std::string::npos);
+}
+
+TEST(TeeSinkTest, ForwardsToBothSinks) {
+  SpanTracer full;
+  FlightRecorder ring(4);
+  TeeSink tee(&ring, &full);
+
+  Simulator sim;
+  sim.set_tracer(&tee);
+  sim.Schedule(Duration::Micros(1), [&] {
+    const uint64_t id = sim.EmitSpanBegin("wal", "op", 5);
+    sim.EmitTrace("psu", "mains-cut", 0);
+    sim.EmitSpanEnd(id, "wal", "op", 6);
+  });
+  sim.Run();
+
+  EXPECT_EQ(full.records().size(), 3u);
+  EXPECT_EQ(ring.total_events(), 3u);
+}
+
+TEST(TeeSinkTest, NullSecondaryIsAllowed) {
+  FlightRecorder ring(4);
+  TeeSink tee(&ring, nullptr);
+  tee.OnTraceEvent(TimePoint::Origin(), "a", "b", 0);
+  tee.OnSpanBegin(TimePoint::Origin(), "a", "b", 1, 0);
+  tee.OnSpanEnd(TimePoint::Origin(), "a", "b", 1, 0);
+  EXPECT_EQ(ring.total_events(), 3u);
+}
+
+}  // namespace
+}  // namespace rlobs

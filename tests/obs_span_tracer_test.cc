@@ -1,0 +1,173 @@
+#include "src/obs/span_tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/chrome_trace.h"
+#include "src/sim/simulator.h"
+
+namespace rlobs {
+namespace {
+
+using rlsim::Duration;
+using rlsim::Simulator;
+
+TEST(SpanTracerTest, RecordsInstantsAndSpans) {
+  Simulator sim;
+  SpanTracer tracer;
+  sim.set_tracer(&tracer);
+
+  sim.Schedule(Duration::Micros(1), [&] {
+    sim.EmitTrace("disk", "power-loss", 7);
+    const uint64_t id = sim.EmitSpanBegin("wal", "commit-wait", 42);
+    EXPECT_NE(id, 0u);
+    sim.EmitSpanEnd(id, "wal", "commit-wait", 43);
+  });
+  sim.Run();
+
+  ASSERT_EQ(tracer.records().size(), 3u);
+  const auto& recs = tracer.records();
+  EXPECT_EQ(recs[0].type, SpanTracer::EventType::kInstant);
+  EXPECT_EQ(tracer.name(recs[0].actor), "disk");
+  EXPECT_EQ(tracer.name(recs[0].kind), "power-loss");
+  EXPECT_EQ(recs[0].arg, 7);
+  EXPECT_EQ(recs[1].type, SpanTracer::EventType::kBegin);
+  EXPECT_EQ(recs[1].arg, 42);
+  EXPECT_EQ(recs[2].type, SpanTracer::EventType::kEnd);
+  EXPECT_EQ(recs[2].arg, 43);
+  EXPECT_EQ(recs[1].span_id, recs[2].span_id);
+  EXPECT_EQ(recs[1].at_ns, Duration::Micros(1).nanos());
+}
+
+TEST(SpanTracerTest, SpanScopeClosesOnDestruction) {
+  Simulator sim;
+  SpanTracer tracer;
+  sim.set_tracer(&tracer);
+
+  sim.Schedule(Duration::Micros(1), [&] {
+    rlsim::SpanScope scope(sim, "wal", "flush-cycle", 1);
+    scope.set_end_arg(9);
+  });
+  sim.Run();
+
+  ASSERT_EQ(tracer.records().size(), 2u);
+  EXPECT_EQ(tracer.records()[0].type, SpanTracer::EventType::kBegin);
+  EXPECT_EQ(tracer.records()[1].type, SpanTracer::EventType::kEnd);
+  EXPECT_EQ(tracer.records()[1].arg, 9);
+}
+
+TEST(SpanTracerTest, NoTracerMeansNoSpanIdsAndNoCost) {
+  Simulator sim;  // no tracer installed
+  sim.Schedule(Duration::Micros(1), [&] {
+    EXPECT_EQ(sim.EmitSpanBegin("wal", "commit-wait"), 0u);
+    sim.EmitSpanEnd(0, "wal", "commit-wait");  // accepted no-op
+  });
+  sim.Run();
+}
+
+TEST(SpanTracerTest, InterningDeduplicatesNames) {
+  Simulator sim;
+  SpanTracer tracer;
+  sim.set_tracer(&tracer);
+  sim.Schedule(Duration::Micros(1), [&] {
+    for (int i = 0; i < 100; ++i) {
+      sim.EmitTrace("disk", "destage", static_cast<uint32_t>(i));
+    }
+  });
+  sim.Run();
+  EXPECT_EQ(tracer.records().size(), 100u);
+  EXPECT_EQ(tracer.name_count(), 2u);  // "disk", "destage"
+}
+
+// Recording the same seeded run twice must export byte-identical JSON —
+// the determinism contract tracing rides on.
+TEST(SpanTracerTest, SameRunExportsIdenticalTraces) {
+  auto run = [] {
+    Simulator sim(1234);
+    SpanTracer tracer;
+    sim.set_tracer(&tracer);
+    for (int i = 1; i <= 20; ++i) {
+      sim.Schedule(Duration::Micros(i), [&sim, i] {
+        const uint64_t id =
+            sim.EmitSpanBegin(i % 2 ? "wal" : "disk", "op", i);
+        sim.EmitTrace("psu", "tick", static_cast<uint32_t>(i));
+        sim.EmitSpanEnd(id, i % 2 ? "wal" : "disk", "op", i);
+      });
+    }
+    sim.Run();
+    return ExportChromeTrace(tracer);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(ChromeTraceTest, ExportShapeAndPidAssignment) {
+  Simulator sim;
+  SpanTracer tracer;
+  sim.set_tracer(&tracer);
+  sim.Schedule(Duration::Micros(5), [&] {
+    // "alpha" emits after "zeta", but pids are assigned in sorted name
+    // order, so alpha must still get pid 1.
+    const uint64_t z = sim.EmitSpanBegin("zeta", "z-op");
+    sim.EmitSpanEnd(z, "zeta", "z-op");
+    sim.EmitTrace("alpha", "a-instant", 1);
+  });
+  sim.Run();
+
+  const std::string json = ExportChromeTrace(tracer);
+  EXPECT_NE(json.find("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  // alpha sorts first -> pid 1; zeta -> pid 2.
+  EXPECT_NE(json.find("\"args\":{\"name\":\"alpha\"}"), std::string::npos);
+  const size_t alpha_meta = json.find("\"pid\":1,\"tid\":0,\"args\":{\"name\":\"alpha\"}");
+  const size_t zeta_meta = json.find("\"pid\":2,\"tid\":0,\"args\":{\"name\":\"zeta\"}");
+  EXPECT_NE(alpha_meta, std::string::npos);
+  EXPECT_NE(zeta_meta, std::string::npos);
+}
+
+TEST(ChromeTraceTest, UnmatchedBeginIsClosedAtLastTimestamp) {
+  Simulator sim;
+  SpanTracer tracer;
+  sim.set_tracer(&tracer);
+  sim.Schedule(Duration::Micros(1), [&] {
+    sim.EmitSpanBegin("wal", "stuck-op");  // never ended
+  });
+  sim.Schedule(Duration::Micros(9), [&] { sim.EmitTrace("wal", "later", 0); });
+  sim.Run();
+
+  const std::string json = ExportChromeTrace(tracer);
+  // Closed at 9us: begin ts 1.000, dur 8.000.
+  EXPECT_NE(json.find("\"ts\":1.000,\"dur\":8.000"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, OverlappingSpansLandOnDistinctLanes) {
+  Simulator sim;
+  SpanTracer tracer;
+  sim.set_tracer(&tracer);
+  uint64_t a = 0;
+  sim.Schedule(Duration::Micros(1), [&] {
+    a = sim.EmitSpanBegin("disk", "io-a");
+  });
+  sim.Schedule(Duration::Micros(2), [&] {
+    const uint64_t b = sim.EmitSpanBegin("disk", "io-b");
+    sim.EmitSpanEnd(b, "disk", "io-b");
+  });
+  sim.Schedule(Duration::Micros(3), [&] {
+    sim.EmitSpanEnd(a, "disk", "io-a");
+  });
+  sim.Run();
+
+  const std::string json = ExportChromeTrace(tracer);
+  // io-a occupies lane 1 over [1us,3us]; io-b overlaps it and must move to
+  // lane 2 of the same pid.
+  EXPECT_NE(json.find("\"name\":\"io-a\",\"ph\":\"X\",\"pid\":1,\"tid\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"io-b\",\"ph\":\"X\",\"pid\":1,\"tid\":2"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace rlobs

@@ -23,10 +23,29 @@ TEST(CounterTest, AddAndReset) {
 TEST(HistogramTest, Empty) {
   Histogram h;
   EXPECT_EQ(h.count(), 0);
-  EXPECT_EQ(h.min(), 0);
-  EXPECT_EQ(h.max(), 0);
+  EXPECT_TRUE(h.empty());
   EXPECT_EQ(h.Percentile(50), 0);
   EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, EmptyMinMaxIsAnError) {
+  // Regression: min()/max() used to report the zero-initialised defaults as
+  // if they were observations; an empty histogram must refuse instead.
+  Histogram h;
+  EXPECT_THROW(h.min(), CheckFailure);
+  EXPECT_THROW(h.max(), CheckFailure);
+  h.Record(7);
+  EXPECT_EQ(h.min(), 7);
+  h.Reset();
+  EXPECT_THROW(h.min(), CheckFailure);
+}
+
+TEST(HistogramTest, EmptySummaryRendersExplicitly) {
+  Histogram h;
+  EXPECT_EQ(h.Summary(), "n=0 (empty)");
+  EXPECT_EQ(h.DurationSummary(), "n=0 (empty)");
+  h.Record(1);
+  EXPECT_EQ(h.Summary().find("(empty)"), std::string::npos);
 }
 
 TEST(HistogramTest, SingleValue) {
@@ -115,13 +134,64 @@ TEST(HistogramTest, MergeIntoEmpty) {
   EXPECT_EQ(a.max(), 5);
 }
 
+TEST(HistogramTest, MergePreservesCountSumAndPercentileMonotonicity) {
+  // Merging two populated histograms must behave exactly as if every sample
+  // had been recorded into one: count and sum add up, and percentiles stay
+  // (a) monotone in p and (b) within bucket error of the direct recording.
+  Histogram a;
+  Histogram b;
+  Histogram direct;
+  Rng rng(17);
+  int64_t expected_sum = 0;
+  for (int i = 0; i < 5'000; ++i) {
+    const int64_t va = rng.UniformInt(0, 100'000);
+    const int64_t vb = rng.UniformInt(50'000, 5'000'000);
+    a.Record(va);
+    b.Record(vb);
+    direct.Record(va);
+    direct.Record(vb);
+    expected_sum += va + vb;
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 10'000);
+  EXPECT_EQ(a.count(), direct.count());
+  EXPECT_DOUBLE_EQ(a.Mean() * static_cast<double>(a.count()),
+                   static_cast<double>(expected_sum));
+  EXPECT_EQ(a.min(), direct.min());
+  EXPECT_EQ(a.max(), direct.max());
+  int64_t prev = 0;
+  for (double p : {0.0, 5.0, 25.0, 50.0, 75.0, 95.0, 99.9, 100.0}) {
+    const int64_t merged_p = a.Percentile(p);
+    EXPECT_GE(merged_p, prev) << "p=" << p;
+    EXPECT_EQ(merged_p, direct.Percentile(p)) << "p=" << p;
+    prev = merged_p;
+  }
+}
+
+TEST(HistogramTest, PercentileIsBucketUpperBound) {
+  // The documented contract: Percentile(p) returns an upper bound of the
+  // bucket holding the p-th observation — never below the true value, and
+  // never more than one sub-bucket width (1/16 relative) above it.
+  Histogram h;
+  for (const int64_t v : {1'000, 33'333, 700'000, 12'345'678}) {
+    Histogram single;
+    single.Record(v);
+    const int64_t p100 = single.Percentile(100);
+    EXPECT_GE(p100, v);
+    EXPECT_LE(p100, v + v / 8);
+    h.Record(v);
+  }
+  // With all four recorded, p100 caps at the recorded max.
+  EXPECT_LE(h.Percentile(100), h.max());
+}
+
 TEST(HistogramTest, ResetClearsEverything) {
   Histogram h;
   h.Record(5);
   h.Record(500);
   h.Reset();
   EXPECT_EQ(h.count(), 0);
-  EXPECT_EQ(h.max(), 0);
+  EXPECT_TRUE(h.empty());
   EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
 }
 
@@ -227,6 +297,47 @@ TEST(StatsRegistryTest, UnregisterPrefixDropsOnlyThatComponent) {
   EXPECT_NE(registry.Format().find("net.sent"), std::string::npos);
 }
 
+TEST(StatsRegistryTest, UnregisterPrefixRemovesHistogramsToo) {
+  // Histograms registered under the prefix must go as well — teardown that
+  // only purged counters would leave a dangling histogram pointer behind.
+  Counter c;
+  Histogram h1;
+  Histogram h2;
+  StatsRegistry registry;
+  registry.RegisterHistogram("disk.write_latency", &h1);
+  registry.RegisterHistogram("disk.read_latency", &h2);
+  registry.RegisterCounter("disk.writes", &c);
+  EXPECT_EQ(registry.size(), 3u);
+  registry.UnregisterPrefix("disk.");
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.Format(), "");
+  // Re-registering the same names must succeed: nothing lingers.
+  registry.RegisterHistogram("disk.write_latency", &h1);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(StatsRegistryTest, ToJsonRendersCountersAndHistograms) {
+  Counter writes;
+  writes.Add(7);
+  Histogram latency;
+  latency.Record(100);
+  Histogram idle;  // stays empty
+  StatsRegistry registry;
+  registry.RegisterCounter("net.writes", &writes);
+  registry.RegisterHistogram("disk.latency", &latency);
+  registry.RegisterHistogram("disk.idle", &idle);
+
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"net.writes\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"disk.idle\":{\"count\":0}"), std::string::npos);
+  EXPECT_NE(json.find("\"disk.latency\":{\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  // Name-sorted: disk.* precedes net.*.
+  EXPECT_LT(json.find("disk.idle"), json.find("net.writes"));
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
 TEST(StatsRegistryTest, DuplicateNameRejected) {
   Counter a;
   Counter b;
@@ -240,15 +351,28 @@ TEST(RateMeterTest, PerSecond) {
   m.Start(TimePoint::Origin());
   m.Tick(500);
   const TimePoint later = TimePoint::Origin() + Duration::Seconds(2);
-  EXPECT_DOUBLE_EQ(m.PerSecond(later), 250.0);
+  ASSERT_TRUE(m.PerSecond(later).has_value());
+  EXPECT_DOUBLE_EQ(*m.PerSecond(later), 250.0);
   EXPECT_EQ(m.events(), 500);
 }
 
-TEST(RateMeterTest, ZeroWindowSafe) {
+TEST(RateMeterTest, NoWindowIsDistinctFromZeroRate) {
+  // "No measurement window" (never started, or zero-length window) must be
+  // distinguishable from a real measured rate of zero.
   RateMeter m;
+  EXPECT_FALSE(m.started());
+  EXPECT_FALSE(m.PerSecond(TimePoint::Origin() + Duration::Seconds(1))
+                   .has_value());  // never started
   m.Start(TimePoint::Origin());
+  EXPECT_TRUE(m.started());
   m.Tick();
-  EXPECT_DOUBLE_EQ(m.PerSecond(TimePoint::Origin()), 0.0);
+  EXPECT_FALSE(m.PerSecond(TimePoint::Origin()).has_value());  // zero window
+  // A positive window with zero events is a genuine zero rate.
+  RateMeter quiet;
+  quiet.Start(TimePoint::Origin());
+  const auto rate = quiet.PerSecond(TimePoint::Origin() + Duration::Seconds(1));
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_DOUBLE_EQ(*rate, 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,182 @@
+#include "tools/tracecheck/tracecheck.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/chrome_trace.h"
+#include "src/obs/span_tracer.h"
+#include "src/sim/simulator.h"
+
+namespace tracecheck {
+namespace {
+
+constexpr const char* kHeader =
+    "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+
+std::string Wrap(const std::string& body) {
+  return std::string(kHeader) + body + "]}\n";
+}
+
+const char* kMeta1 =
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+    "\"args\":{\"name\":\"wal\"}},\n";
+
+bool HasRule(const Report& r, const std::string& rule) {
+  for (const Problem& p : r.problems) {
+    if (p.rule == rule) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(ParseMicrosTest, HandlesIntegerAndFractionalMicros) {
+  int64_t ns = 0;
+  EXPECT_TRUE(ParseMicrosToNanos("12.345", &ns));
+  EXPECT_EQ(ns, 12345);
+  EXPECT_TRUE(ParseMicrosToNanos("0.001", &ns));
+  EXPECT_EQ(ns, 1);
+  EXPECT_TRUE(ParseMicrosToNanos("7", &ns));
+  EXPECT_EQ(ns, 7000);
+  EXPECT_TRUE(ParseMicrosToNanos("3.5", &ns));
+  EXPECT_EQ(ns, 3500);
+  EXPECT_FALSE(ParseMicrosToNanos("", &ns));
+  EXPECT_FALSE(ParseMicrosToNanos("1.2.3", &ns));
+  EXPECT_FALSE(ParseMicrosToNanos("abc", &ns));
+}
+
+TEST(TracecheckTest, AcceptsAMinimalValidTrace) {
+  const Report r = CheckTraceText(
+      Wrap(std::string(kMeta1) +
+           "{\"name\":\"commit-wait\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+           "\"ts\":1.000,\"dur\":2.000,\"args\":{\"arg\":0,\"end_arg\":0,"
+           "\"span_id\":1}},\n"
+           "{\"name\":\"mains-cut\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,"
+           "\"tid\":0,\"ts\":5.000,\"args\":{\"crc\":0}}\n"),
+      "test");
+  EXPECT_TRUE(r.ok()) << FormatReport(r, "test");
+  EXPECT_EQ(r.spans, 1);
+  EXPECT_EQ(r.instants, 1);
+  EXPECT_EQ(r.metadata, 1);
+  EXPECT_EQ(r.pids, 1);
+}
+
+TEST(TracecheckTest, RejectsMissingHeaderAndFooter) {
+  EXPECT_TRUE(HasRule(CheckTraceText("not a trace\n", "t"), "TC001"));
+  EXPECT_TRUE(
+      HasRule(CheckTraceText(std::string(kHeader) + "{}\n", "t"), "TC001"));
+}
+
+TEST(TracecheckTest, RejectsEventsMissingRequiredFields) {
+  // X event with no dur.
+  const Report r1 = CheckTraceText(
+      Wrap(std::string(kMeta1) +
+           "{\"name\":\"op\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+           "\"ts\":1.000,\"args\":{}}\n"),
+      "t");
+  EXPECT_TRUE(HasRule(r1, "TC002"));
+  // Instant with no scope.
+  const Report r2 = CheckTraceText(
+      Wrap(std::string(kMeta1) +
+           "{\"name\":\"op\",\"ph\":\"i\",\"pid\":1,\"tid\":0,"
+           "\"ts\":1.000,\"args\":{}}\n"),
+      "t");
+  EXPECT_TRUE(HasRule(r2, "TC002"));
+  // Unknown phase.
+  const Report r3 = CheckTraceText(
+      Wrap(std::string(kMeta1) +
+           "{\"name\":\"op\",\"ph\":\"Q\",\"pid\":1,\"tid\":1,"
+           "\"ts\":1.000}\n"),
+      "t");
+  EXPECT_TRUE(HasRule(r3, "TC002"));
+}
+
+TEST(TracecheckTest, RejectsBackwardsTimestamps) {
+  const Report r = CheckTraceText(
+      Wrap(std::string(kMeta1) +
+           "{\"name\":\"a\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":0,"
+           "\"ts\":5.000,\"args\":{\"crc\":0}},\n"
+           "{\"name\":\"b\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":0,"
+           "\"ts\":4.999,\"args\":{\"crc\":0}}\n"),
+      "t");
+  EXPECT_TRUE(HasRule(r, "TC003"));
+}
+
+TEST(TracecheckTest, RejectsOverlappingSpansOnOneLane) {
+  const Report r = CheckTraceText(
+      Wrap(std::string(kMeta1) +
+           "{\"name\":\"a\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+           "\"ts\":1.000,\"dur\":5.000,\"args\":{}},\n"
+           "{\"name\":\"b\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+           "\"ts\":3.000,\"dur\":1.000,\"args\":{}}\n"),
+      "t");
+  EXPECT_TRUE(HasRule(r, "TC004"));
+
+  // Same spans on different lanes: fine.
+  const Report ok = CheckTraceText(
+      Wrap(std::string(kMeta1) +
+           "{\"name\":\"a\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+           "\"ts\":1.000,\"dur\":5.000,\"args\":{}},\n"
+           "{\"name\":\"b\",\"ph\":\"X\",\"pid\":1,\"tid\":2,"
+           "\"ts\":3.000,\"dur\":1.000,\"args\":{}}\n"),
+      "t");
+  EXPECT_TRUE(ok.ok()) << FormatReport(ok, "t");
+
+  // Back-to-back on one lane (begin == previous end): fine.
+  const Report touch = CheckTraceText(
+      Wrap(std::string(kMeta1) +
+           "{\"name\":\"a\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+           "\"ts\":1.000,\"dur\":2.000,\"args\":{}},\n"
+           "{\"name\":\"b\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+           "\"ts\":3.000,\"dur\":1.000,\"args\":{}}\n"),
+      "t");
+  EXPECT_TRUE(touch.ok()) << FormatReport(touch, "t");
+}
+
+TEST(TracecheckTest, RejectsPidsWithoutMetadata) {
+  const Report r = CheckTraceText(
+      Wrap("{\"name\":\"a\",\"ph\":\"i\",\"s\":\"t\",\"pid\":3,\"tid\":0,"
+           "\"ts\":1.000,\"args\":{\"crc\":0}}\n"),
+      "t");
+  EXPECT_TRUE(HasRule(r, "TC005"));
+}
+
+// End-to-end: everything the real exporter produces must validate. This is
+// the same check CI runs against --trace-out artifacts.
+TEST(TracecheckTest, RealExporterOutputValidates) {
+  rlsim::Simulator sim(7);
+  rlobs::SpanTracer tracer;
+  sim.set_tracer(&tracer);
+  for (int i = 1; i <= 200; ++i) {
+    sim.Schedule(rlsim::Duration::Micros(i), [&sim, i] {
+      const char* actor = i % 3 == 0 ? "wal" : (i % 3 == 1 ? "disk" : "psu");
+      const uint64_t id = sim.EmitSpanBegin(actor, "op", i);
+      if (i % 5 == 0) {
+        sim.EmitTrace(actor, "instant", static_cast<uint32_t>(i));
+      }
+      sim.EmitSpanEnd(id, actor, "op", i + 1);
+    });
+  }
+  // One deliberately overlapping pair (same actor) to exercise lanes, and
+  // one span left open so the exporter has to close it.
+  uint64_t open_id = 0;
+  sim.Schedule(rlsim::Duration::Micros(300), [&] {
+    open_id = sim.EmitSpanBegin("wal", "long-op");
+    const uint64_t inner = sim.EmitSpanBegin("wal", "inner-op");
+    sim.EmitSpanEnd(inner, "wal", "inner-op");
+  });
+  sim.Schedule(rlsim::Duration::Micros(400), [&] {
+    sim.EmitTrace("wal", "end-marker", 0);
+  });
+  sim.Run();
+
+  const Report r =
+      CheckTraceText(rlobs::ExportChromeTrace(tracer), "exported");
+  EXPECT_TRUE(r.ok()) << FormatReport(r, "exported");
+  EXPECT_EQ(r.spans, 202);
+  EXPECT_GT(r.pids, 1);
+}
+
+}  // namespace
+}  // namespace tracecheck

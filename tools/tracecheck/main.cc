@@ -1,0 +1,33 @@
+// tracecheck CLI: validates Chrome trace-event JSON files emitted by
+// --trace-out (see tools/tracecheck/tracecheck.h for the rule list).
+// Exit status: 0 = all files valid, 1 = problems found, 2 = usage.
+#include <cstdio>
+#include <cstring>
+
+#include "tools/tracecheck/tracecheck.h"
+
+int main(int argc, char** argv) {
+  bool quiet = false;
+  int first_file = 1;
+  if (first_file < argc && std::strcmp(argv[first_file], "--quiet") == 0) {
+    quiet = true;
+    ++first_file;
+  }
+  if (first_file >= argc) {
+    std::fprintf(stderr, "usage: %s [--quiet] TRACE.json...\n", argv[0]);
+    return 2;
+  }
+
+  bool all_ok = true;
+  for (int i = first_file; i < argc; ++i) {
+    const tracecheck::Report report = tracecheck::CheckTraceFile(argv[i]);
+    if (!report.ok()) {
+      all_ok = false;
+    }
+    if (!report.ok() || !quiet) {
+      std::fputs(tracecheck::FormatReport(report, argv[i]).c_str(),
+                 report.ok() ? stdout : stderr);
+    }
+  }
+  return all_ok ? 0 : 1;
+}

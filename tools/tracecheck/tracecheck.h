@@ -1,0 +1,61 @@
+// tracecheck: schema validator for the Chrome trace-event JSON this repo
+// emits (src/obs/chrome_trace).
+//
+// `--trace-out` files are the interface between the simulator and Perfetto;
+// a malformed one fails silently in the viewer (events dropped, lanes
+// misrendered) long after the run that produced it is gone. tracecheck makes
+// the contract checkable in CI: it parses an emitted trace line-wise (the
+// exporter guarantees one event object per line precisely so this tool does
+// not need a JSON library) and validates the invariants the exporter
+// promises:
+//
+//   TC001 file-structure     header/footer present, every event line parses
+//   TC002 required-fields    each phase carries its required keys
+//                            (X: pid/tid/ts/dur, i: pid/tid/ts/s, M: pid)
+//   TC003 ts-monotonic       non-metadata events sorted by timestamp
+//   TC004 lane-overlap       per (pid,tid) lane, X spans do not overlap
+//   TC005 pid-metadata       every pid used by an event has a process_name
+//
+// Scope: this validates traces produced by this repo's exporter (fixed key
+// spelling, "%lld.%03lld" microsecond timestamps), not arbitrary Chrome
+// traces — which is exactly what a schema check should pin down.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tracecheck {
+
+struct Problem {
+  std::string rule;  // "TC003"
+  int line = 0;      // 1-based line in the trace file, 0 = whole-file
+  std::string message;
+};
+
+struct Report {
+  std::vector<Problem> problems;
+  int64_t events = 0;     // non-metadata events checked
+  int64_t metadata = 0;   // "M" events
+  int64_t spans = 0;      // "X" events
+  int64_t instants = 0;   // "i" events
+  int64_t pids = 0;       // distinct pids seen
+
+  bool ok() const { return problems.empty(); }
+};
+
+// Validates a whole trace file's text. `path` is used only for messages.
+Report CheckTraceText(std::string_view text, std::string_view path);
+
+// Reads and validates `path`. A missing/unreadable file is a TC001 problem.
+Report CheckTraceFile(const std::string& path);
+
+// "rule line: message" lines, one per problem, plus a one-line summary.
+std::string FormatReport(const Report& report, std::string_view path);
+
+// Exposed for tests: parses a "%lld.%03lld"-microsecond timestamp (or plain
+// integer) into nanoseconds. Returns false on malformed input.
+bool ParseMicrosToNanos(std::string_view text, int64_t* out_ns);
+
+}  // namespace tracecheck
