@@ -1,0 +1,265 @@
+// E13 — sharded fleet behind a 2PC coordinator: throughput and
+// client-observed commit latency across shard count x client count x
+// cross-shard ratio.
+//
+// Each cell is an independent seeded simulation (its own FleetTestbed), so
+// the sweep fans across --jobs worker threads with results reduced in cell
+// order: stdout and BENCH_e13.json are byte-identical at any job count.
+//
+//   --shards N        pin the shard-count axis to {N} (default: sweep)
+//   --cross-ratio X   pin the cross-shard-probability axis to {X}
+//   --budget small|full   grid size and measurement window (default full)
+//   --jobs N          worker threads; 0 = all cores
+//   --seed S          base seed (default 42)
+//   --json FILE       write the sweep as BENCH-style JSON
+//   --trace-out FILE  re-run the first cell with the span tracer and write
+//                     Chrome trace-event JSON (2PC prepare/decide spans,
+//                     WAL/disk spans) loadable in Perfetto
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/harness/fleet_testbed.h"
+#include "src/harness/parallel_runner.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/span_tracer.h"
+#include "src/workload/fleet_workload.h"
+
+namespace {
+
+using rlbench::Fmt;
+using rlbench::FmtDur;
+using rlbench::PrintHeader;
+using rlbench::Table;
+using rlsim::Duration;
+using rlsim::Simulator;
+using rlsim::Task;
+
+struct Cell {
+  size_t shards;
+  int clients;
+  double cross_ratio;
+};
+
+struct CellResult {
+  double txns_per_sec = 0;
+  double cross_frac = 0;  // committed cross-shard share
+  Duration p50 = Duration::Zero();
+  Duration p95 = Duration::Zero();
+  int64_t committed = 0;
+  int64_t aborted = 0;
+  int64_t unknown = 0;
+};
+
+struct Budget {
+  Duration warmup;
+  Duration measure;
+};
+
+CellResult RunCell(const Cell& cell, const Budget& budget, uint64_t seed,
+                   rlsim::TraceEventSink* sink) {
+  Simulator sim(seed);
+  if (sink != nullptr) {
+    sim.set_tracer(sink);
+  }
+  rlharness::FleetOptions fopt;
+  fopt.shards = cell.shards;
+  fopt.shard.db.pool_pages = 512;
+  fopt.shard.db.journal_pages = 300;
+  fopt.shard.db.profile.checkpoint_dirty_pages = 128;
+  rlharness::FleetTestbed fleet(sim, fopt);
+
+  rlwork::FleetConfig wcfg;
+  wcfg.cross_shard_probability = cell.cross_ratio;
+  rlwork::FleetWorkload work(sim, wcfg);
+
+  CellResult result;
+  bool stop = false;
+  sim.Spawn([](Simulator& s, rlharness::FleetTestbed& f,
+               rlwork::FleetWorkload& w, const Cell& c, const Budget& b,
+               CellResult& out, bool& stop_flag) -> Task<void> {
+    co_await f.Start();
+    for (int i = 0; i < c.clients; ++i) {
+      s.Spawn(w.RunClient(f.coordinator(), f.directory(), i, &stop_flag,
+                          nullptr));
+    }
+    co_await s.Sleep(b.warmup);
+    w.stats().committed.Reset();
+    w.stats().cross_committed.Reset();
+    w.stats().aborted.Reset();
+    w.stats().unknown.Reset();
+    w.stats().txn_latency.Reset();
+    const rlsim::TimePoint t0 = s.now();
+    co_await s.Sleep(b.measure);
+    const double seconds = (s.now() - t0).ToSecondsF();
+    stop_flag = true;
+
+    out.committed = w.stats().committed.value();
+    out.aborted = w.stats().aborted.value();
+    out.unknown = w.stats().unknown.value();
+    out.txns_per_sec = static_cast<double>(out.committed) / seconds;
+    out.cross_frac =
+        out.committed == 0
+            ? 0
+            : static_cast<double>(w.stats().cross_committed.value()) /
+                  static_cast<double>(out.committed);
+    out.p50 = w.stats().txn_latency.PercentileDuration(50);
+    out.p95 = w.stats().txn_latency.PercentileDuration(95);
+    co_await f.Shutdown();
+  }(sim, fleet, work, cell, budget, result, stop));
+  sim.Run();
+  if (sink != nullptr) {
+    sim.set_tracer(nullptr);
+  }
+  return result;
+}
+
+// FNV-1a over every cell's integer observations: one line CI can diff
+// between --jobs 1 and --jobs N runs.
+uint64_t SweepHash(const std::vector<CellResult>& results) {
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const CellResult& r : results) {
+    mix(static_cast<uint64_t>(r.committed));
+    mix(static_cast<uint64_t>(r.aborted));
+    mix(static_cast<uint64_t>(r.unknown));
+    mix(static_cast<uint64_t>(r.p50.nanos()));
+    mix(static_cast<uint64_t>(r.p95.nanos()));
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seed = 42;
+  int jobs = 1;
+  bool small = false;
+  size_t pin_shards = 0;
+  double pin_cross = -1.0;
+  std::string json_path;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--jobs") {
+      jobs = static_cast<int>(std::strtol(next(), nullptr, 10));
+      if (jobs <= 0) {
+        jobs = rlharness::DefaultJobs();
+      }
+    } else if (arg == "--shards") {
+      pin_shards = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--cross-ratio") {
+      pin_cross = std::strtod(next(), nullptr);
+    } else if (arg == "--budget") {
+      const std::string v = next();
+      if (v == "small") {
+        small = true;
+      } else if (v != "full") {
+        std::fprintf(stderr, "--budget wants small|full\n");
+        return 2;
+      }
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<size_t> shard_axis =
+      small ? std::vector<size_t>{2, 4} : std::vector<size_t>{2, 3, 4, 6};
+  if (pin_shards > 0) {
+    shard_axis = {pin_shards};
+  }
+  std::vector<int> client_axis =
+      small ? std::vector<int>{4, 8} : std::vector<int>{4, 8, 16};
+  std::vector<double> cross_axis =
+      small ? std::vector<double>{0.0, 0.6} : std::vector<double>{0.0, 0.3, 0.6};
+  if (pin_cross >= 0) {
+    cross_axis = {pin_cross};
+  }
+  const Budget budget = small ? Budget{Duration::Millis(200), Duration::Millis(800)}
+                              : Budget{Duration::Millis(400), Duration::Seconds(2)};
+
+  std::vector<Cell> cells;
+  for (const size_t s : shard_axis) {
+    for (const int c : client_axis) {
+      for (const double x : cross_axis) {
+        cells.push_back(Cell{s, c, x});
+      }
+    }
+  }
+
+  PrintHeader("E13: fleet 2PC sweep (shards x clients x cross-shard ratio)");
+  // Deliberately no jobs=N echo: stdout must be byte-identical at any job
+  // count so CI can diff two runs directly.
+  std::printf("seed=%" PRIu64 " cells=%zu budget=%s\n", seed, cells.size(),
+              small ? "small" : "full");
+
+  // Every cell derives from the base seed and its own cell index, so the
+  // fan-out order cannot matter; RunJobs reduces in index order.
+  const std::vector<CellResult> results = rlharness::RunJobs<CellResult>(
+      jobs, cells.size(), [&cells, &budget, seed](size_t i) {
+        return RunCell(cells[i], budget, seed + i * 1000003ull, nullptr);
+      });
+
+  Table table;
+  table.Row({"shards", "clients", "cross", "txn/s", "cross-frac", "p50",
+             "p95", "aborted", "unknown"});
+  rlbench::BenchJsonWriter json;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    const CellResult& r = results[i];
+    table.Row({std::to_string(c.shards), std::to_string(c.clients),
+               Fmt(c.cross_ratio, "%.2f"), Fmt(r.txns_per_sec, "%.0f"),
+               Fmt(r.cross_frac, "%.3f"), FmtDur(r.p50), FmtDur(r.p95),
+               std::to_string(r.aborted), std::to_string(r.unknown)});
+    char prefix[64];
+    std::snprintf(prefix, sizeof(prefix), "e13.s%zu_c%d_x%.2f", c.shards,
+                  c.clients, c.cross_ratio);
+    json.Add(std::string(prefix) + ".txns_per_sec", r.txns_per_sec, "txn/s");
+    json.Add(std::string(prefix) + ".cross_frac", r.cross_frac, "fraction");
+    json.Add(std::string(prefix) + ".p50_us",
+             static_cast<double>(r.p50.nanos()) / 1000.0, "us");
+    json.Add(std::string(prefix) + ".p95_us",
+             static_cast<double>(r.p95.nanos()) / 1000.0, "us");
+  }
+  table.Print();
+  std::printf("sweep hash %016" PRIx64 "\n", SweepHash(results));
+
+  if (!json_path.empty() && !json.WriteFile(json_path)) {
+    return 1;
+  }
+  if (!trace_out.empty()) {
+    // Dedicated traced re-run of the first cell, outside the sweep, so the
+    // sweep's numbers and hash stay independent of tracing.
+    rlobs::SpanTracer tracer;
+    RunCell(cells[0], budget, seed, &tracer);
+    if (!rlobs::WriteChromeTrace(tracer, trace_out)) {
+      return 1;
+    }
+    std::printf("wrote %s (%zu trace events)\n", trace_out.c_str(),
+                tracer.records().size());
+  }
+  return 0;
+}

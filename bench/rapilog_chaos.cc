@@ -4,6 +4,11 @@
 //   rapilog_chaos --seed S --episodes N corpus of N episodes (seeds S..S+N-1)
 //   rapilog_chaos --replay FILE         re-execute a recorded schedule
 //   rapilog_chaos --ablate-powerguard   plant the known violation (guard off)
+//   rapilog_chaos --fleet N             E13 fleet episodes: N shards behind a
+//                                       2PC coordinator, fleet fault motifs,
+//                                       the atomicity oracle after wind-down
+//   rapilog_chaos --cross-ratio X       pin the fleet cross-shard probability
+//                                       (default: sampled per seed)
 //   rapilog_chaos --budget N            nightly sweep: N episodes in batches
 //   rapilog_chaos --minutes M           alias: budget = M * 120 episodes
 //   rapilog_chaos --audit               run every episode twice under the
@@ -64,11 +69,16 @@ constexpr uint64_t kEpisodesPerMinute = 120;
 constexpr uint64_t kBatchEpisodes = 10;
 
 void PrintEpisode(const EpisodeConfig& cfg, const EpisodeOutcome& out) {
-  std::printf("episode seed=%llu mode=%s disks=%s replicas=%zu events=%zu\n",
+  std::printf("episode seed=%llu mode=%s disks=%s replicas=%zu events=%zu",
               static_cast<unsigned long long>(cfg.seed),
               rlharness::ToString(cfg.mode).c_str(),
               rlharness::ToString(cfg.disks).c_str(), cfg.replicas,
               cfg.events.size());
+  if (cfg.fleet_shards > 0) {
+    std::printf(" fleet-shards=%zu cross-ratio=%.4f", cfg.fleet_shards,
+                cfg.cross_ratio);
+  }
+  std::printf("\n");
   std::printf("  %s\n", out.Summary().c_str());
   for (const std::string& v : out.violations) {
     std::printf("  VIOLATION: %s\n", v.c_str());
@@ -220,6 +230,8 @@ int main(int argc, char** argv) {
   bool shrink = true;
   bool audit = false;
   bool ablate_powerguard = false;
+  size_t fleet_shards = 0;
+  double cross_ratio = -1.0;
   rlchaos::RunOptions run;
   std::string replay_path;
   std::string out_dir;
@@ -261,6 +273,10 @@ int main(int argc, char** argv) {
       audit = true;
     } else if (arg == "--ablate-powerguard") {
       ablate_powerguard = true;
+    } else if (arg == "--fleet") {
+      fleet_shards = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--cross-ratio") {
+      cross_ratio = std::strtod(next(), nullptr);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 2;
@@ -277,6 +293,8 @@ int main(int argc, char** argv) {
   opts.shrink = shrink;
   opts.run = run;
   opts.jobs = jobs;
+  opts.gen.fleet_shards = fleet_shards;
+  opts.gen.cross_ratio = cross_ratio;
   if (ablate_powerguard) {
     // The ablation: RapiLog without its power guard. A buffered-ack device
     // whose emergency flush never runs loses acked commits on a plug-pull —

@@ -259,18 +259,67 @@ Task<void> Database::Recover() {
   root_ = meta_.root_page;
   next_free_page_ = meta_.next_free_page;
 
-  // Replay the committed suffix of the WAL.
+  // Replay the committed suffix of the WAL. kPrepare records whose txn has
+  // neither a commit nor an abort record are in doubt: their write-sets are
+  // rebuilt (not applied) and held under locks until the 2PC coordinator's
+  // decision arrives (presumed abort when it never does).
   const LogScanResult scan =
       co_await ScanLog(log_dev_, options_.profile, meta_.replay_block);
   std::unordered_set<uint64_t> committed;
+  std::unordered_set<uint64_t> aborted;
+  std::map<uint64_t, uint64_t> prepared;  // txn id -> global id
+  uint64_t max_txn_id = 0;
   for (const LogRecord& rec : scan.records) {
-    if (rec.type == LogRecordType::kCommit) {
-      committed.insert(rec.txn_id);
+    max_txn_id = std::max(max_txn_id, rec.txn_id);
+    switch (rec.type) {
+      case LogRecordType::kCommit:
+        committed.insert(rec.txn_id);
+        break;
+      case LogRecordType::kAbort:
+        aborted.insert(rec.txn_id);
+        break;
+      case LogRecordType::kPrepare:
+        prepared.emplace(rec.txn_id, rec.key);
+        break;
+      case LogRecordType::kUpdate:
+      case LogRecordType::kDelete:
+        break;
     }
   }
+  std::map<uint64_t, Txn> in_doubt;
+  for (const auto& [txn_id, global_id] : prepared) {
+    if (committed.contains(txn_id) || aborted.contains(txn_id)) {
+      continue;
+    }
+    Txn t;
+    t.id = txn_id;
+    t.prepared = true;
+    t.global_id = global_id;
+    in_doubt.emplace(txn_id, std::move(t));
+  }
   for (const LogRecord& rec : scan.records) {
-    if (rec.type == LogRecordType::kCommit ||
-        !committed.contains(rec.txn_id)) {
+    const auto doubt = in_doubt.find(rec.txn_id);
+    if (doubt != in_doubt.end()) {
+      // Rebuild the in-doubt write-set instead of applying it.
+      Txn& t = doubt->second;
+      if (t.first_lsn == 0) {
+        t.first_lsn = rec.lsn;  // records arrive in LSN order
+      }
+      if (rec.type == LogRecordType::kUpdate ||
+          rec.type == LogRecordType::kDelete) {
+        WriteOp op;
+        op.is_delete = rec.type == LogRecordType::kDelete;
+        op.key = rec.key;
+        op.value = rec.value;
+        t.ops.push_back(std::move(op));
+      }
+      continue;
+    }
+    if (rec.type != LogRecordType::kUpdate &&
+        rec.type != LogRecordType::kDelete) {
+      continue;
+    }
+    if (!committed.contains(rec.txn_id)) {
       continue;
     }
     co_await ApplyRecord(rec);
@@ -281,6 +330,22 @@ Task<void> Database::Recover() {
     }
   }
   wal_->ResumeAt(scan.next_block, scan.next_lsn);
+
+  // Adopt the in-doubt txns before any checkpoint runs: their first_lsn
+  // values are what hold the replay point at (or before) their prepare
+  // records, and their locks must be in place before new clients arrive.
+  // Ids never collide with fresh txns because next_txn_id_ starts past every
+  // id still visible in the replayable log region (reusing a resident
+  // in-doubt id would misattribute its old records at the next replay).
+  next_txn_id_ = std::max(next_txn_id_, max_txn_id + 1);
+  for (auto& [id, t] : in_doubt) {
+    for (const WriteOp& op : t.ops) {
+      const bool got = co_await locks_->Acquire(id, op.key);
+      RL_CHECK_MSG(got, "in-doubt lock re-acquisition cannot contend");
+    }
+    stats_.in_doubt_recovered.Add();
+    txns_.emplace(id, std::move(t));
+  }
 
   // Persist the recovered state so the next crash replays less.
   if (!scan.records.empty() || pool_->dirty_count() > 0) {
@@ -298,7 +363,9 @@ Task<void> Database::ApplyRecord(const LogRecord& rec) {
       root_ = co_await tree_->Remove(root_, rec.key);
       break;
     case LogRecordType::kCommit:
-      break;
+    case LogRecordType::kPrepare:
+    case LogRecordType::kAbort:
+      break;  // control records carry no tree mutation
   }
 }
 
@@ -306,7 +373,9 @@ Task<void> Database::ApplyRecord(const LogRecord& rec) {
 
 uint64_t Database::Begin() {
   const uint64_t id = next_txn_id_++;
-  txns_.emplace(id, Txn{.id = id});
+  Txn t;
+  t.id = id;
+  txns_.emplace(id, std::move(t));
   return id;
 }
 
@@ -379,6 +448,9 @@ Task<DbStatus> Database::Commit(uint64_t txn) {
     co_return DbStatus::kTxnNotActive;
   }
   Txn& t = it->second;
+  RL_CHECK_MSG(!t.prepared,
+               "Commit() on a prepared txn; decisions go through "
+               "CommitPrepared/Abort/ResolveInDoubt");
   const TimePoint start = sim_.now();
   co_await cpu_.Compute(options_.profile.cpu_per_commit);
 
@@ -439,9 +511,133 @@ Task<void> Database::Abort(uint64_t txn) {
   if (it == txns_.end()) {
     co_return;
   }
+  if (it->second.prepared) {
+    // Best-effort resolution record: never waited on (presumed abort makes
+    // its loss safe), but when it lands, the next recovery skips re-entering
+    // doubt — and re-querying the coordinator — for this txn.
+    LogRecord rec;
+    rec.type = LogRecordType::kAbort;
+    rec.txn_id = txn;
+    rec.key = it->second.global_id;
+    wal_->Append(std::move(rec));
+  }
   locks_->ReleaseAll(txn);
   txns_.erase(it);
   stats_.aborts.Add();
+}
+
+// --- Two-phase commit (participant half) -------------------------------------
+
+Task<DbStatus> Database::Prepare(uint64_t txn, uint64_t global_id) {
+  const auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    co_return DbStatus::kTxnNotActive;
+  }
+  Txn& t = it->second;
+  RL_CHECK_MSG(!t.prepared, "double Prepare on txn " << txn);
+  co_await cpu_.Compute(options_.profile.cpu_per_commit);
+
+  // Log the write-set followed by the prepare record; the durable prepare IS
+  // the yes-vote. An empty write-set still logs the prepare: the vote must
+  // survive a crash, because the coordinator may commit on the strength of
+  // it.
+  for (const WriteOp& op : t.ops) {
+    LogRecord rec;
+    rec.type = op.is_delete ? LogRecordType::kDelete : LogRecordType::kUpdate;
+    rec.txn_id = txn;
+    rec.key = op.key;
+    rec.value = op.value;
+    const uint64_t lsn = wal_->Append(std::move(rec));
+    if (t.first_lsn == 0) {
+      t.first_lsn = lsn;
+    }
+  }
+  LogRecord prep;
+  prep.type = LogRecordType::kPrepare;
+  prep.txn_id = txn;
+  prep.key = global_id;
+  const uint64_t prep_lsn = wal_->Append(std::move(prep));
+  if (t.first_lsn == 0) {
+    t.first_lsn = prep_lsn;
+  }
+  co_await wal_->WaitDurable(prep_lsn);
+
+  t.prepared = true;
+  t.global_id = global_id;
+  stats_.prepares.Add();
+  co_return DbStatus::kOk;
+}
+
+Task<DbStatus> Database::CommitPrepared(uint64_t txn) {
+  const auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    co_return DbStatus::kTxnNotActive;
+  }
+  Txn& t = it->second;
+  RL_CHECK_MSG(t.prepared, "CommitPrepared on an unprepared txn " << txn);
+  if (t.deciding) {
+    co_return DbStatus::kTxnNotActive;  // duplicate decision mid-apply
+  }
+  t.deciding = true;
+  const TimePoint start = sim_.now();
+
+  // The write-set is already durable behind the prepare record; only the
+  // commit record is new.
+  LogRecord commit;
+  commit.type = LogRecordType::kCommit;
+  commit.txn_id = txn;
+  const uint64_t commit_lsn = wal_->Append(std::move(commit));
+  co_await wal_->WaitDurable(commit_lsn);
+  co_await ThrottleDirtyPages();
+
+  {
+    auto guard = co_await apply_mutex_->Lock();
+    for (const WriteOp& op : t.ops) {
+      if (op.is_delete) {
+        root_ = co_await tree_->Remove(root_, op.key);
+      } else {
+        root_ = co_await tree_->Put(root_, op.key, op.value);
+      }
+    }
+  }
+
+  locks_->ReleaseAll(txn);
+  txns_.erase(it);
+  stats_.commits.Add();
+  stats_.commit_latency.RecordDuration(sim_.now() - start);
+  MaybeScheduleCheckpoint();
+  co_return DbStatus::kOk;
+}
+
+std::vector<uint64_t> Database::InDoubtGlobalIds() const {
+  std::vector<uint64_t> ids;
+  for (const auto& [id, t] : txns_) {
+    if (t.prepared && !t.deciding) {
+      ids.push_back(t.global_id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Task<DbStatus> Database::ResolveInDoubt(uint64_t global_id, bool commit) {
+  uint64_t local = 0;
+  bool found = false;
+  for (const auto& [id, t] : txns_) {
+    if (t.prepared && !t.deciding && t.global_id == global_id) {
+      local = id;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    co_return DbStatus::kTxnNotActive;
+  }
+  if (commit) {
+    co_return co_await CommitPrepared(local);
+  }
+  co_await Abort(local);
+  co_return DbStatus::kOk;
 }
 
 // --- Checkpoint ----------------------------------------------------------------

@@ -57,6 +57,8 @@ class Database {
     rlsim::Counter checkpoints;
     rlsim::Counter recovered_records;
     rlsim::Counter repaired_from_journal;
+    rlsim::Counter prepares;            // durable 2PC yes-votes
+    rlsim::Counter in_doubt_recovered;  // prepared txns rebuilt at recovery
     rlsim::Histogram commit_latency;  // ns, Commit() call to return
   };
 
@@ -90,7 +92,31 @@ class Database {
   // paper's durability-equivalent). kLockTimeout is never returned here.
   rlsim::Task<DbStatus> Commit(uint64_t txn);
 
+  // Aborts and forgets the transaction. A prepared transaction additionally
+  // gets a best-effort kAbort record so the next recovery can skip re-doubt.
   rlsim::Task<void> Abort(uint64_t txn);
+
+  // --- Two-phase commit (participant half; see src/shard) --------------------
+
+  // Durably logs the transaction's write-set plus a prepare record carrying
+  // `global_id`, keeps its locks, and votes yes by returning kOk. The
+  // transaction then stays resident (pinning the WAL replay point) until a
+  // coordinator decision arrives via CommitPrepared/Abort/ResolveInDoubt.
+  rlsim::Task<DbStatus> Prepare(uint64_t txn, uint64_t global_id);
+
+  // Applies the coordinator's commit decision to a prepared transaction:
+  // durable commit record, then the write-set lands in the tree.
+  rlsim::Task<DbStatus> CommitPrepared(uint64_t txn);
+
+  // Global ids of every prepared-but-undecided transaction (recovered
+  // in-doubt txns and live prepared ones alike), ascending.
+  std::vector<uint64_t> InDoubtGlobalIds() const;
+
+  // Routes a coordinator decision by global id (the recovery/resolver path,
+  // where the local txn id of the old incarnation is meaningless). Returns
+  // kTxnNotActive when no prepared txn carries `global_id` — already
+  // resolved, decision already applied, or the prepare never became durable.
+  rlsim::Task<DbStatus> ResolveInDoubt(uint64_t global_id, bool commit);
 
   // --- Maintenance -----------------------------------------------------------
 
@@ -120,6 +146,13 @@ class Database {
     uint64_t first_lsn = 0;  // 0 until the first record is logged
     std::vector<WriteOp> ops;
     bool committing = false;
+    // 2PC: set once the prepare record is durable; the txn holds its locks
+    // and pins the replay point until a decision arrives.
+    bool prepared = false;
+    // A decision (commit or abort) is being applied right now; duplicate
+    // decisions arriving mid-apply must not double-apply the write-set.
+    bool deciding = false;
+    uint64_t global_id = 0;  // kPrepare record payload
   };
 
   Database(rlsim::Simulator& sim, CpuContext& cpu,

@@ -31,13 +31,23 @@ enum class LogRecordType : uint8_t {
   kUpdate = 1,
   kDelete = 2,
   kCommit = 3,
+  // Two-phase commit (src/shard): a participant's durable yes-vote. The
+  // record's `key` field carries the distributed transaction's global id.
+  // A prepared transaction whose decision is unknown at recovery is held
+  // in doubt (locks re-acquired, writes unapplied) until the coordinator
+  // answers — or presumed aborted when the coordinator has no decision.
+  kPrepare = 4,
+  // A resolved abort for a previously-prepared transaction. Best-effort
+  // (never waited on): losing it only means the transaction re-enters doubt
+  // at the next recovery and is presumed-aborted again.
+  kAbort = 5,
 };
 
 struct LogRecord {
   LogRecordType type = LogRecordType::kUpdate;
   uint64_t lsn = 0;
   uint64_t txn_id = 0;
-  uint64_t key = 0;
+  uint64_t key = 0;  // kUpdate/kDelete: row key; kPrepare/kAbort: global id
   std::vector<uint8_t> value;  // kUpdate only
 };
 

@@ -249,6 +249,14 @@ void ApplyEvent(EpisodeState& st, const FaultEvent& e) {
         bed.SetReplicaLinkLoss(e.arg, 0.0);
       }
       break;
+    case FaultKind::kKillShard:
+    case FaultKind::kRecoverShard:
+    case FaultKind::kPartitionShard:
+    case FaultKind::kHealShard:
+    case FaultKind::kKillCoordinator:
+    case FaultKind::kRecoverCoordinator:
+      // Fleet kinds: meaningless on a single testbed (see fleet_episode.cc).
+      break;
   }
 }
 
@@ -364,6 +372,8 @@ uint64_t EpisodeOutcome::Hash() const {
   h = FnvMix(h, promoted_pending);
   h = FnvMix(h, audit_sectors_expected);
   h = FnvMix(h, audit_sectors_underreplicated);
+  h = FnvMix(h, fleet_cross_committed);
+  h = FnvMix(h, fleet_unknown_outcomes);
   h = FnvMix(h, static_cast<uint64_t>(end_time_ns));
   h = FnvMix(h, violations.size());
   return h;
@@ -387,6 +397,9 @@ std::string EpisodeOutcome::Summary() const {
 }
 
 EpisodeOutcome RunEpisode(const EpisodeConfig& cfg, const RunOptions& run) {
+  if (cfg.fleet_shards > 0) {
+    return RunFleetEpisode(cfg, run);
+  }
   EpisodeOutcome out;
   Simulator sim(cfg.seed);
   // Every episode flies with a recorder armed: a bounded ring of recent

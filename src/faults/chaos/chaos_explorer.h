@@ -47,6 +47,10 @@ struct EpisodeOutcome {
   // Replication audit (replicated episodes only).
   uint64_t audit_sectors_expected = 0;
   uint64_t audit_sectors_underreplicated = 0;
+  // Fleet episodes only (cfg.fleet_shards > 0): cross-shard 2PC traffic and
+  // outcomes the atomicity oracle adjudicated. Zero in classic episodes.
+  uint64_t fleet_cross_committed = 0;
+  uint64_t fleet_unknown_outcomes = 0;  // txns left in doubt by a crash
   int64_t end_time_ns = 0;  // virtual time consumed by the episode
   std::vector<std::string> violations;
   // Post-mortem: the flight recorder's "last N events before death" dump,
@@ -61,9 +65,18 @@ struct EpisodeOutcome {
 };
 
 // Runs one episode to completion on a fresh simulator. Never throws; oracle
-// failures and infrastructure breakage land in `violations`.
+// failures and infrastructure breakage land in `violations`. Dispatches to
+// the fleet runner when cfg.fleet_shards > 0.
 EpisodeOutcome RunEpisode(const EpisodeConfig& cfg,
                           const RunOptions& run = {});
+
+// The fleet (E13) episode runner: cfg.fleet_shards shard testbeds behind a
+// 2PC coordinator, cross-shard workload at cfg.cross_ratio, fleet fault
+// kinds applied with state guards, and — after wind-down heals and recovers
+// everything — the fleet atomicity oracle plus per-shard structural checks.
+// RunEpisode forwards here; callable directly by tests.
+EpisodeOutcome RunFleetEpisode(const EpisodeConfig& cfg,
+                               const RunOptions& run = {});
 
 // Determinism cross-check: executes the episode twice from its seed with a
 // trace recorder installed and returns the auditor's verdict — identical

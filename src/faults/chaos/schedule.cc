@@ -40,6 +40,18 @@ std::string ToString(FaultKind k) {
       return "link-degrade";
     case FaultKind::kLinkRestore:
       return "link-restore";
+    case FaultKind::kKillShard:
+      return "kill-shard";
+    case FaultKind::kRecoverShard:
+      return "recover-shard";
+    case FaultKind::kPartitionShard:
+      return "partition-shard";
+    case FaultKind::kHealShard:
+      return "heal-shard";
+    case FaultKind::kKillCoordinator:
+      return "kill-coordinator";
+    case FaultKind::kRecoverCoordinator:
+      return "recover-coordinator";
   }
   return "unknown";
 }
@@ -53,6 +65,9 @@ constexpr FaultKind kAllKinds[] = {
     FaultKind::kPartitionReplica, FaultKind::kHealReplica,
     FaultKind::kKillReplica,      FaultKind::kReviveReplica,
     FaultKind::kLinkDegrade,      FaultKind::kLinkRestore,
+    FaultKind::kKillShard,        FaultKind::kRecoverShard,
+    FaultKind::kPartitionShard,   FaultKind::kHealShard,
+    FaultKind::kKillCoordinator,  FaultKind::kRecoverCoordinator,
 };
 
 bool ModeFromString(const std::string& s, DeploymentMode* out) {
@@ -110,7 +125,11 @@ void SortEvents(std::vector<FaultEvent>* events) {
 
 std::string Serialize(const EpisodeConfig& cfg) {
   std::ostringstream out;
-  out << "rapilog-chaos-schedule v1\n";
+  // Fleet episodes need the v2 keys; plain schedules keep emitting the v1
+  // format byte-for-byte so every existing recorded schedule still diffs
+  // clean against a re-serialisation.
+  const bool fleet = cfg.fleet_shards > 0;
+  out << (fleet ? "rapilog-chaos-schedule v2\n" : "rapilog-chaos-schedule v1\n");
   out << "seed " << cfg.seed << "\n";
   out << "mode " << rlharness::ToString(cfg.mode) << "\n";
   out << "disks " << rlharness::ToString(cfg.disks) << "\n";
@@ -122,6 +141,12 @@ std::string Serialize(const EpisodeConfig& cfg) {
   out << "restore-from-replica " << (cfg.restore_from_replica ? 1 : 0) << "\n";
   out << "power-guard " << (cfg.power_guard ? 1 : 0) << "\n";
   out << "run-us " << cfg.run_us << "\n";
+  if (fleet) {
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.4f", cfg.cross_ratio);
+    out << "fleet-shards " << cfg.fleet_shards << "\n";
+    out << "cross-ratio " << ratio << "\n";
+  }
   for (const FaultEvent& e : cfg.events) {
     out << "event " << e.at_us << " " << ToString(e.kind) << " " << e.arg
         << "\n";
@@ -139,8 +164,9 @@ bool Parse(const std::string& text, EpisodeConfig* out, std::string* error) {
   };
   std::istringstream in(text);
   std::string line;
-  if (!std::getline(in, line) || line != "rapilog-chaos-schedule v1") {
-    return fail("bad header (want 'rapilog-chaos-schedule v1')");
+  if (!std::getline(in, line) || (line != "rapilog-chaos-schedule v1" &&
+                                  line != "rapilog-chaos-schedule v2")) {
+    return fail("bad header (want 'rapilog-chaos-schedule v1' or 'v2')");
   }
   EpisodeConfig cfg;
   cfg.events.clear();
@@ -197,6 +223,15 @@ bool Parse(const std::string& text, EpisodeConfig* out, std::string* error) {
       if (!(fields >> cfg.run_us) || cfg.run_us <= 0) {
         return fail("bad run-us line: " + line);
       }
+    } else if (key == "fleet-shards") {
+      if (!(fields >> cfg.fleet_shards)) {
+        return fail("bad fleet-shards line: " + line);
+      }
+    } else if (key == "cross-ratio") {
+      if (!(fields >> cfg.cross_ratio) || cfg.cross_ratio < 0 ||
+          cfg.cross_ratio > 1) {
+        return fail("bad cross-ratio line: " + line);
+      }
     } else if (key == "event") {
       FaultEvent e;
       std::string kind;
@@ -228,6 +263,52 @@ EpisodeConfig GenerateEpisode(uint64_t seed, const GeneratorOptions& opts) {
   cfg.seed = seed;
   cfg.power_guard = opts.power_guard;
   cfg.run_us = rng.UniformInt(opts.run_us_min, opts.run_us_max);
+
+  if (opts.fleet_shards > 0) {
+    // Fleet episode (E13): N shard testbeds behind a 2PC coordinator. The
+    // motifs target the protocol's message boundaries — a kill landing
+    // between prepare and decision is the interesting schedule, and with
+    // events drawn uniformly across the window while hundreds of
+    // transactions run, every boundary gets hit across a seed sweep.
+    cfg.fleet_shards = opts.fleet_shards;
+    cfg.mode = DeploymentMode::kRapiLog;
+    constexpr DiskSetup kFleetDisks[] = {DiskSetup::kSharedHdd,
+                                         DiskSetup::kSsdLog};
+    cfg.disks = kFleetDisks[rng.NextBelow(2)];
+    if (opts.cross_ratio >= 0) {
+      cfg.cross_ratio = opts.cross_ratio;
+    } else {
+      constexpr double kRatios[] = {0.1, 0.3, 0.6};
+      cfg.cross_ratio = kRatios[rng.NextBelow(3)];
+    }
+    const int motifs =
+        static_cast<int>(rng.UniformInt(opts.min_faults, opts.max_faults));
+    for (int m = 0; m < motifs; ++m) {
+      const int64_t t = rng.UniformInt(10'000, cfg.run_us);
+      const auto shard =
+          static_cast<uint32_t>(rng.NextBelow(opts.fleet_shards));
+      enum FleetMotif { kShardCycle, kShardPartition, kCoordCycle };
+      switch (static_cast<FleetMotif>(rng.NextBelow(3))) {
+        case kShardCycle:
+          cfg.events.push_back({t, FaultKind::kKillShard, shard});
+          cfg.events.push_back({t + rng.UniformInt(30'000, 200'000),
+                                FaultKind::kRecoverShard, shard});
+          break;
+        case kShardPartition:
+          cfg.events.push_back({t, FaultKind::kPartitionShard, shard});
+          cfg.events.push_back({t + rng.UniformInt(30'000, 250'000),
+                                FaultKind::kHealShard, shard});
+          break;
+        case kCoordCycle:
+          cfg.events.push_back({t, FaultKind::kKillCoordinator, 0});
+          cfg.events.push_back({t + rng.UniformInt(30'000, 200'000),
+                                FaultKind::kRecoverCoordinator, 0});
+          break;
+      }
+    }
+    SortEvents(&cfg.events);
+    return cfg;
+  }
 
   if (opts.force_rapilog) {
     cfg.mode = DeploymentMode::kRapiLog;

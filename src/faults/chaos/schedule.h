@@ -34,6 +34,14 @@ enum class FaultKind {
   kReviveReplica,     // arg = replica index; disk powers on, link up
   kLinkDegrade,       // arg = replica index; link becomes lossy
   kLinkRestore,       // arg = replica index; link loss removed
+  // Fleet episodes only (EpisodeConfig::fleet_shards > 0); no-ops in the
+  // classic single-testbed runner so shrinking stays closed over the kinds.
+  kKillShard,           // arg = shard index; power cut on that shard
+  kRecoverShard,        // arg = shard index; power + crash recovery
+  kPartitionShard,      // arg = shard index; coord<->shard link down
+  kHealShard,           // arg = shard index; link back up
+  kKillCoordinator,     // decision-log disk power + volatile state
+  kRecoverCoordinator,  // disk power back, decision log rescanned
 };
 
 std::string ToString(FaultKind k);
@@ -61,6 +69,13 @@ struct EpisodeConfig {
   // RapiLog's power guard (the ablation plants a violation by disabling it).
   bool power_guard = true;
   int64_t run_us = 300'000;  // workload window; events land inside it
+  // Fleet topology (E13): > 0 runs the episode on a FleetTestbed of this
+  // many shards behind a 2PC coordinator instead of a single Testbed, with
+  // the fleet atomicity oracle. Serialised as the v2 schedule format; plain
+  // (fleet_shards == 0) schedules stay byte-identical v1.
+  size_t fleet_shards = 0;
+  // Cross-shard transaction probability for fleet episodes.
+  double cross_ratio = 0.3;
   std::vector<FaultEvent> events;
 
   bool operator==(const EpisodeConfig&) const = default;
@@ -84,6 +99,13 @@ struct GeneratorOptions {
   int max_faults = 5;
   int64_t run_us_min = 250'000;
   int64_t run_us_max = 450'000;
+  // > 0 generates fleet episodes (see EpisodeConfig::fleet_shards): RapiLog
+  // mode, no per-shard replication, fleet fault motifs (shard power cycles,
+  // shard partitions, coordinator kills) aimed at 2PC message boundaries.
+  size_t fleet_shards = 0;
+  // Cross-shard probability for generated fleet episodes; negative samples
+  // one of {0.1, 0.3, 0.6} per seed.
+  double cross_ratio = -1.0;
 };
 
 // Deterministically derives a schedule from the seed: same seed (and

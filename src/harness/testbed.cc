@@ -390,10 +390,10 @@ void Testbed::RegisterReplicationStats(rlsim::StatsRegistry& registry) const {
   if (fabric_ == nullptr) {
     return;
   }
-  fabric_->RegisterStats(registry, "net.");
-  shipper_->RegisterStats(registry, "ship.");
+  fabric_->RegisterStats(registry, options_.instance + "net.");
+  shipper_->RegisterStats(registry, options_.instance + "ship.");
   for (const auto& replica : replicas_) {
-    replica->RegisterStats(registry, replica->name() + ".");
+    replica->RegisterStats(registry, options_.instance + replica->name() + ".");
   }
 }
 

@@ -1,0 +1,58 @@
+// Static key-range partitioning of the flat KV/TPC-C key space across N
+// shards. The directory is pure arithmetic — no state, no ownership — so
+// every component (coordinator, workload, oracle) can route a key to its
+// owning shard without coordination. Partitioning is by contiguous range,
+// matching how tpcc_lite packs the warehouse id into the key's high bits:
+// a warehouse's rows land on one shard, and "remote warehouse" becomes
+// "remote shard".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/check.h"
+
+namespace rlshard {
+
+class ShardDirectory {
+ public:
+  // `key_space` keys split into `shards` contiguous ranges. The last shard
+  // absorbs the remainder when the division is not exact.
+  ShardDirectory(size_t shards, uint64_t key_space)
+      : shards_(shards), key_space_(key_space) {
+    RL_CHECK_MSG(shards_ >= 1, "directory needs at least one shard");
+    RL_CHECK_MSG(key_space_ >= shards_, "fewer keys than shards");
+    keys_per_shard_ = key_space_ / shards_;
+  }
+
+  size_t shards() const { return shards_; }
+  uint64_t key_space() const { return key_space_; }
+
+  size_t ShardOf(uint64_t key) const {
+    RL_CHECK_MSG(key < key_space_, "key " << key << " outside directory");
+    const size_t s = static_cast<size_t>(key / keys_per_shard_);
+    return s < shards_ ? s : shards_ - 1;
+  }
+
+  // Owned range [RangeBegin, RangeEnd) of a shard.
+  uint64_t RangeBegin(size_t shard) const {
+    RL_CHECK(shard < shards_);
+    return shard * keys_per_shard_;
+  }
+  uint64_t RangeEnd(size_t shard) const {
+    RL_CHECK(shard < shards_);
+    return shard + 1 == shards_ ? key_space_ : (shard + 1) * keys_per_shard_;
+  }
+
+  // Canonical fabric endpoint name of a shard ("shard-0", "shard-1", ...).
+  static std::string EndpointName(size_t shard) {
+    return "shard-" + std::to_string(shard);
+  }
+
+ private:
+  size_t shards_;
+  uint64_t key_space_;
+  uint64_t keys_per_shard_;
+};
+
+}  // namespace rlshard

@@ -1,0 +1,172 @@
+// Two-phase-commit transaction coordinator.
+//
+// Protocol (presumed abort):
+//   * single-shard transactions skip 2PC entirely — one kExecuteReq round
+//     trip, the shard commits locally through its own trusted log;
+//   * cross-shard transactions fan kPrepareReq out to every participant,
+//     wait for unanimous yes-votes (each vote backed by a durable prepare
+//     record on that shard), make the COMMIT decision durable in the
+//     decision log *before* returning to the client, then push kDecision
+//     messages until every participant acks;
+//   * any no-vote, vote timeout, or coordinator crash before the decision
+//     record is durable aborts the transaction — without logging anything,
+//     because absence of a commit record IS the abort decision.
+//
+// Crash model: Crash() wipes all volatile state (in-flight transactions
+// resolve to kUnknown, decision retransmission stops); Recover() rebuilds
+// the committed-decision set from the decision log's valid prefix. Shards
+// stuck in doubt across a coordinator crash re-learn outcomes through the
+// kQuery protocol — answered kCommit only from the durable log, kPending
+// only for a transaction the live coordinator is still driving, kAbort
+// otherwise.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/db/profile.h"
+#include "src/net/network_fabric.h"
+#include "src/shard/decision_log.h"
+#include "src/shard/wire.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+#include "src/sim/sync.h"
+#include "src/storage/block_device.h"
+
+namespace rlshard {
+
+struct CoordinatorOptions {
+  // How long Execute waits for votes (or the fast-path response) before
+  // presuming abort. Must comfortably exceed a prepare's worst-case
+  // durability latency or healthy transactions start aborting.
+  rlsim::Duration vote_timeout = rlsim::Duration::Millis(400);
+  // Decision retransmission cadence and budget. Exhausting the budget is
+  // not a protocol failure — the shard's in-doubt resolver takes over.
+  rlsim::Duration decision_resend_interval = rlsim::Duration::Millis(100);
+  int decision_resend_max = 30;
+};
+
+enum class TxnOutcome : uint8_t {
+  kCommitted = 0,
+  kAborted = 1,
+  // The coordinator crashed (or was unreachable) before this client learned
+  // a decision. The transaction may still have committed — callers must
+  // treat it as unresolved, never as aborted.
+  kUnknown = 2,
+};
+
+std::string ToString(TxnOutcome outcome);
+
+// One participant's slice of a distributed transaction.
+struct ShardOps {
+  size_t shard = 0;
+  std::vector<WireOp> ops;
+};
+
+class TxnCoordinator {
+ public:
+  struct Stats {
+    rlsim::Counter started;
+    rlsim::Counter committed;
+    rlsim::Counter aborted;
+    rlsim::Counter unknown;
+    rlsim::Counter single_shard;
+    rlsim::Counter cross_shard;
+    rlsim::Counter votes_no;
+    rlsim::Counter vote_timeouts;
+    rlsim::Counter decision_resends;
+    rlsim::Counter queries_answered;
+    rlsim::Counter crashes;
+    rlsim::Histogram txn_latency;  // ns, Execute entry to outcome
+  };
+
+  // Creates the coordinator's fabric endpoint `name`. `shard_endpoints[i]`
+  // is shard i's endpoint. The decision log lives on `decision_dev`, whose
+  // power is managed by the caller (see Crash()/Recover()).
+  TxnCoordinator(rlsim::Simulator& sim, rlnet::NetworkFabric& fabric,
+                 std::string name, std::vector<std::string> shard_endpoints,
+                 rlstor::BlockDevice& decision_dev,
+                 rldb::EngineProfile decision_profile,
+                 CoordinatorOptions options = {});
+
+  // Recovers the decision log and starts serving. Must complete before the
+  // first Execute.
+  rlsim::Task<void> Start();
+
+  // Runs one distributed transaction. `global_id` must be globally unique
+  // and never reused (the workload packs client id and sequence number).
+  rlsim::Task<TxnOutcome> Execute(uint64_t global_id,
+                                  std::vector<ShardOps> parts);
+
+  // Volatile-state death. The caller should cut the decision device's power
+  // first so an in-flight decision write fails like real hardware. Pending
+  // Executes resolve kUnknown; messages are dropped until Recover().
+  void Crash();
+
+  // Restores service after Crash(): caller restores device power, then this
+  // rescans the decision log. In-doubt shards re-sync via kQuery.
+  rlsim::Task<void> Recover();
+
+  // Stops serving and drains the decision log writer (teardown path — the
+  // simulator reclaims the parked receive loop).
+  rlsim::Task<void> Shutdown();
+
+  bool alive() const { return alive_; }
+  // Decision pushes still being retransmitted (drain hook for tests).
+  size_t pushes_outstanding() const { return pushes_.size(); }
+
+  const Stats& stats() const { return stats_; }
+  const DecisionLog& decision_log() const { return dlog_; }
+
+  void RegisterStats(rlsim::StatsRegistry& registry,
+                     const std::string& prefix) const;
+
+ private:
+  struct Pending {
+    bool single = false;            // fast path (kExecuteReq)
+    std::set<size_t> votes_outstanding;
+    bool vote_no = false;
+    bool timed_out = false;
+    bool resp_received = false;     // fast path response arrived
+    bool resp_commit = false;
+    bool done = false;              // crash resolved this txn to kUnknown
+    std::unique_ptr<rlsim::WaitQueue> wake;
+  };
+  struct Push {
+    bool commit = false;
+    std::set<size_t> unacked;
+  };
+
+  rlsim::Task<void> ReceiveLoop();
+  rlsim::Task<void> TimeoutTask(uint64_t global_id, uint64_t epoch);
+  rlsim::Task<void> PusherTask(uint64_t global_id, uint64_t epoch);
+  void HandleMessage(const rlnet::Message& raw);
+  void SendToShard(size_t shard, const WireMessage& msg);
+  void StartPush(uint64_t global_id, bool commit,
+                 const std::vector<ShardOps>& parts);
+
+  rlsim::Simulator& sim_;
+  rlnet::NetworkFabric& fabric_;
+  rlnet::Endpoint& endpoint_;
+  std::string name_;
+  std::vector<std::string> shards_;
+  std::map<std::string, size_t> shard_index_;  // endpoint name -> index
+  DecisionLog dlog_;
+  CoordinatorOptions options_;
+
+  bool alive_ = false;
+  bool loop_started_ = false;
+  // Bumped by Crash(); parked timer/pusher tasks from the old incarnation
+  // notice the mismatch and exit instead of acting on stale state.
+  uint64_t epoch_ = 0;
+  std::map<uint64_t, Pending> pending_;
+  std::map<uint64_t, Push> pushes_;
+
+  Stats stats_;
+};
+
+}  // namespace rlshard

@@ -1,0 +1,160 @@
+#include "src/shard/wire.h"
+
+namespace rlshard {
+
+namespace {
+
+void PutU16(std::vector<uint8_t>& buf, uint16_t v) {
+  buf.push_back(static_cast<uint8_t>(v));
+  buf.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>& buf, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>& buf, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const uint8_t> buf) : buf_(buf) {}
+
+  bool U8(uint8_t* out) {
+    if (pos_ + 1 > buf_.size()) {
+      return false;
+    }
+    *out = buf_[pos_++];
+    return true;
+  }
+
+  bool U16(uint16_t* out) {
+    if (pos_ + 2 > buf_.size()) {
+      return false;
+    }
+    *out = static_cast<uint16_t>(buf_[pos_] | (buf_[pos_ + 1] << 8));
+    pos_ += 2;
+    return true;
+  }
+
+  bool U32(uint32_t* out) {
+    if (pos_ + 4 > buf_.size()) {
+      return false;
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(buf_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    *out = v;
+    return true;
+  }
+
+  bool U64(uint64_t* out) {
+    if (pos_ + 8 > buf_.size()) {
+      return false;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(buf_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    *out = v;
+    return true;
+  }
+
+  bool Bytes(size_t n, std::vector<uint8_t>* out) {
+    if (pos_ + n > buf_.size()) {
+      return false;
+    }
+    out->assign(buf_.begin() + pos_, buf_.begin() + pos_ + n);
+    pos_ += n;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == buf_.size(); }
+
+ private:
+  std::span<const uint8_t> buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<uint8_t> EncodeMessage(const WireMessage& msg) {
+  std::vector<uint8_t> buf;
+  buf.push_back(static_cast<uint8_t>(msg.type));
+  PutU64(buf, msg.global_id);
+  buf.push_back(msg.flag);
+  PutU32(buf, static_cast<uint32_t>(msg.ops.size()));
+  for (const WireOp& op : msg.ops) {
+    buf.push_back(op.is_delete ? 1 : 0);
+    PutU64(buf, op.key);
+    PutU16(buf, static_cast<uint16_t>(op.value.size()));
+    buf.insert(buf.end(), op.value.begin(), op.value.end());
+  }
+  return buf;
+}
+
+bool DecodeMessage(std::span<const uint8_t> buf, WireMessage* out) {
+  Reader r(buf);
+  uint8_t type = 0;
+  if (!r.U8(&type) || type < 1 ||
+      type > static_cast<uint8_t>(MsgType::kQueryResp)) {
+    return false;
+  }
+  out->type = static_cast<MsgType>(type);
+  uint8_t flag = 0;
+  uint32_t n_ops = 0;
+  if (!r.U64(&out->global_id) || !r.U8(&flag) || !r.U32(&n_ops)) {
+    return false;
+  }
+  out->flag = flag;
+  // Each op takes at least 11 bytes; reject counts the frame cannot hold.
+  if (n_ops > buf.size() / 11) {
+    return false;
+  }
+  out->ops.clear();
+  out->ops.reserve(n_ops);
+  for (uint32_t i = 0; i < n_ops; ++i) {
+    WireOp op;
+    uint8_t is_delete = 0;
+    uint16_t vlen = 0;
+    if (!r.U8(&is_delete) || !r.U64(&op.key) || !r.U16(&vlen) ||
+        !r.Bytes(vlen, &op.value)) {
+      return false;
+    }
+    op.is_delete = is_delete != 0;
+    out->ops.push_back(std::move(op));
+  }
+  return r.AtEnd();
+}
+
+std::string ToString(MsgType type) {
+  switch (type) {
+    case MsgType::kPrepareReq:
+      return "prepare";
+    case MsgType::kVote:
+      return "vote";
+    case MsgType::kExecuteReq:
+      return "execute";
+    case MsgType::kExecuteResp:
+      return "execute-resp";
+    case MsgType::kDecision:
+      return "decision";
+    case MsgType::kDecisionAck:
+      return "decision-ack";
+    case MsgType::kQuery:
+      return "query";
+    case MsgType::kQueryResp:
+      return "query-resp";
+  }
+  return "unknown";
+}
+
+}  // namespace rlshard

@@ -1,0 +1,86 @@
+// Wire protocol between the transaction coordinator and shard nodes.
+//
+// Messages ride rlnet::NetworkFabric frames, which are lossy and unordered
+// across links — every protocol obligation here is therefore end-to-end:
+// votes answer prepares, acks answer decisions, and anything lost is
+// re-driven by the coordinator's decision pusher or the shard's in-doubt
+// resolver, never by the fabric.
+//
+// Encoding is explicit little-endian bytes (no struct memcpy) so frames are
+// platform-independent and a torn/garbage frame decodes to false rather
+// than UB.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rlshard {
+
+enum class MsgType : uint8_t {
+  // coordinator -> shard: log + prepare this write-set under the global id.
+  kPrepareReq = 1,
+  // shard -> coordinator: yes/no vote (flag). A yes vote is only sent after
+  // the prepare record is durable, so a received yes is a binding promise.
+  kVote = 2,
+  // coordinator -> shard: single-shard fast path — execute and commit the
+  // write-set locally in one round trip, no prepare state left behind.
+  kExecuteReq = 3,
+  // shard -> coordinator: fast-path result (flag = committed).
+  kExecuteResp = 4,
+  // coordinator -> shard: the decision (flag = commit). Retransmitted until
+  // acked; shards apply it idempotently.
+  kDecision = 5,
+  // shard -> coordinator: decision applied (or already resolved).
+  kDecisionAck = 6,
+  // shard -> coordinator: what became of this global id? Sent by the
+  // in-doubt resolver for prepared transactions whose decision never came.
+  kQuery = 7,
+  // coordinator -> shard: answer (flag = QueryAnswer).
+  kQueryResp = 8,
+};
+
+// kQueryResp flag values. Presumed abort: the coordinator answers kCommit
+// only from its durable decision log, kPending only for a transaction it is
+// actively driving, and kAbort otherwise — an in-doubt transaction with no
+// logged decision and no live coordinator state can never commit.
+enum class QueryAnswer : uint8_t {
+  kAbort = 0,
+  kCommit = 1,
+  kPending = 2,
+};
+
+struct WireOp {
+  bool is_delete = false;
+  uint64_t key = 0;
+  std::vector<uint8_t> value;  // empty for deletes
+};
+
+struct WireMessage {
+  MsgType type = MsgType::kPrepareReq;
+  uint64_t global_id = 0;
+  uint8_t flag = 0;          // vote yes / decision commit / QueryAnswer
+  std::vector<WireOp> ops;   // kPrepareReq / kExecuteReq only
+
+  static WireMessage Make(MsgType type, uint64_t global_id,
+                          uint8_t flag = 0) {
+    WireMessage m;
+    m.type = type;
+    m.global_id = global_id;
+    m.flag = flag;
+    return m;
+  }
+};
+
+// [u8 type][u64 global_id][u8 flag][u32 n_ops] then per op
+// [u8 is_delete][u64 key][u16 vlen][vlen bytes].
+std::vector<uint8_t> EncodeMessage(const WireMessage& msg);
+
+// Strict decode: returns false on short, oversized, or trailing-garbage
+// frames. `out` is unspecified on failure.
+bool DecodeMessage(std::span<const uint8_t> buf, WireMessage* out);
+
+std::string ToString(MsgType type);
+
+}  // namespace rlshard

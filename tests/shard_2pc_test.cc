@@ -1,0 +1,395 @@
+// Two-phase commit over the fleet topology: wire protocol, coordinator
+// state machine (commit / abort / fast-path), presumed-abort recovery from
+// a torn coordinator log, and a 200-seed crash-point sweep that kills
+// coordinators and shards across 2PC message boundaries and checks the
+// fleet atomicity oracle after every schedule.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/faults/fleet_checker.h"
+#include "src/harness/fleet_testbed.h"
+#include "src/shard/shard_directory.h"
+#include "src/shard/wire.h"
+#include "src/sim/simulator.h"
+#include "src/workload/fleet_workload.h"
+#include "src/workload/tpcc_lite.h"
+
+namespace rlharness {
+namespace {
+
+using rlsim::Duration;
+using rlsim::Simulator;
+using rlsim::Task;
+using rlshard::MsgType;
+using rlshard::ShardOps;
+using rlshard::TxnOutcome;
+using rlshard::WireMessage;
+using rlshard::WireOp;
+
+FleetOptions SmallFleet(size_t shards) {
+  FleetOptions opt;
+  opt.shards = shards;
+  opt.key_space = 1 << 20;
+  opt.shard.mode = DeploymentMode::kRapiLog;
+  opt.shard.disks = DiskSetup::kSharedHdd;
+  opt.shard.db.profile = rldb::PostgresLikeProfile();
+  opt.shard.db.pool_pages = 512;
+  opt.shard.db.journal_pages = 300;
+  opt.shard.db.profile.checkpoint_dirty_pages = 128;
+  return opt;
+}
+
+// One WireOp writing `key` with a deterministic value.
+WireOp Op(uint64_t key) {
+  WireOp op;
+  op.key = key;
+  // The engine stores fixed-size row slots; match the profile's value size.
+  op.value = rlwork::RowValue(96, key, key * 31);
+  return op;
+}
+
+// Reads `key` on the shard that owns it; true if present with Op(key)'s
+// value.
+Task<bool> HasKey(FleetTestbed& fleet, uint64_t key) {
+  rldb::Database* db = fleet.shard_db(fleet.directory().ShardOf(key));
+  RL_CHECK(db != nullptr);
+  std::vector<uint8_t> got;
+  const bool found = co_await db->ReadCommitted(key, &got);
+  co_return found && got == Op(key).value;
+}
+
+// --- Wire protocol -----------------------------------------------------------
+
+TEST(WireTest, RoundTripsAllFields) {
+  WireMessage msg = WireMessage::Make(MsgType::kPrepareReq, 0x1234'5678'9abcull,
+                                      1);
+  msg.ops.push_back(Op(7));
+  msg.ops.push_back(WireOp{.is_delete = true, .key = 99, .value = {}});
+
+  const std::vector<uint8_t> bytes = EncodeMessage(msg);
+  WireMessage back;
+  ASSERT_TRUE(DecodeMessage(bytes, &back));
+  EXPECT_EQ(back.type, msg.type);
+  EXPECT_EQ(back.global_id, msg.global_id);
+  EXPECT_EQ(back.flag, msg.flag);
+  ASSERT_EQ(back.ops.size(), 2u);
+  EXPECT_EQ(back.ops[0].key, 7u);
+  EXPECT_EQ(back.ops[0].value, msg.ops[0].value);
+  EXPECT_TRUE(back.ops[1].is_delete);
+}
+
+TEST(WireTest, RejectsGarbage) {
+  WireMessage out;
+  EXPECT_FALSE(DecodeMessage(std::vector<uint8_t>{}, &out));
+  EXPECT_FALSE(DecodeMessage(std::vector<uint8_t>{0xff, 0x01}, &out));
+  // Truncated valid message.
+  WireMessage msg = WireMessage::Make(MsgType::kVote, 42, 1);
+  std::vector<uint8_t> bytes = EncodeMessage(msg);
+  bytes.pop_back();
+  EXPECT_FALSE(DecodeMessage(bytes, &out));
+  // Trailing garbage.
+  bytes = EncodeMessage(msg);
+  bytes.push_back(0);
+  EXPECT_FALSE(DecodeMessage(bytes, &out));
+}
+
+TEST(DirectoryTest, PartitionsKeySpace) {
+  rlshard::ShardDirectory dir(4, 1000);
+  EXPECT_EQ(dir.ShardOf(0), 0u);
+  EXPECT_EQ(dir.ShardOf(249), 0u);
+  EXPECT_EQ(dir.ShardOf(250), 1u);
+  EXPECT_EQ(dir.ShardOf(999), 3u);  // remainder folds into the last shard
+  EXPECT_EQ(dir.RangeEnd(3), 1000u);
+  for (size_t s = 0; s < 4; ++s) {
+    for (uint64_t k = dir.RangeBegin(s); k < dir.RangeEnd(s); k += 83) {
+      EXPECT_EQ(dir.ShardOf(k), s);
+    }
+  }
+}
+
+// --- Coordinator state machine ----------------------------------------------
+
+TEST(TwoPcTest, CrossShardCommitLandsOnBothShards) {
+  Simulator sim;
+  FleetTestbed fleet(sim, SmallFleet(2));
+  const uint64_t k0 = 10, k1 = (1 << 19) + 10;  // shard 0 / shard 1
+  TxnOutcome outcome = TxnOutcome::kUnknown;
+  bool has0 = false, has1 = false;
+  sim.Spawn([](Simulator&, FleetTestbed& f, uint64_t a, uint64_t b,
+               TxnOutcome& out, bool& ha, bool& hb) -> Task<void> {
+    co_await f.Start();
+    std::vector<ShardOps> parts;
+    parts.push_back(ShardOps{.shard = 0, .ops = {Op(a)}});
+    parts.push_back(ShardOps{.shard = 1, .ops = {Op(b)}});
+    out = co_await f.coordinator().Execute(1, std::move(parts));
+    EXPECT_TRUE(co_await f.ResolveAllInDoubt(Duration::Seconds(5)));
+    ha = co_await HasKey(f, a);
+    hb = co_await HasKey(f, b);
+    co_await f.Shutdown();
+  }(sim, fleet, k0, k1, outcome, has0, has1));
+  sim.Run();
+  EXPECT_EQ(outcome, TxnOutcome::kCommitted);
+  EXPECT_TRUE(has0);
+  EXPECT_TRUE(has1);
+  EXPECT_EQ(fleet.coordinator().stats().cross_shard.value(), 1);
+  EXPECT_EQ(fleet.coordinator().decision_log().stats().decisions_logged.value(),
+            1);
+}
+
+TEST(TwoPcTest, SingleShardUsesFastPath) {
+  Simulator sim;
+  FleetTestbed fleet(sim, SmallFleet(2));
+  TxnOutcome outcome = TxnOutcome::kUnknown;
+  bool has = false;
+  sim.Spawn([](Simulator&, FleetTestbed& f, TxnOutcome& out,
+               bool& h) -> Task<void> {
+    co_await f.Start();
+    std::vector<ShardOps> parts;
+    parts.push_back(ShardOps{.shard = 0, .ops = {Op(5)}});
+    out = co_await f.coordinator().Execute(2, std::move(parts));
+    h = co_await HasKey(f, 5);
+    co_await f.Shutdown();
+  }(sim, fleet, outcome, has));
+  sim.Run();
+  EXPECT_EQ(outcome, TxnOutcome::kCommitted);
+  EXPECT_TRUE(has);
+  EXPECT_EQ(fleet.coordinator().stats().single_shard.value(), 1);
+  // The fast path must not touch the decision log.
+  EXPECT_EQ(fleet.coordinator().decision_log().stats().decisions_logged.value(),
+            0);
+}
+
+TEST(TwoPcTest, PartitionedParticipantAbortsAtomically) {
+  Simulator sim;
+  FleetTestbed fleet(sim, SmallFleet(2));
+  const uint64_t k0 = 20, k1 = (1 << 19) + 20;
+  TxnOutcome outcome = TxnOutcome::kCommitted;
+  bool has0 = true, has1 = true;
+  sim.Spawn([](Simulator&, FleetTestbed& f, uint64_t a, uint64_t b,
+               TxnOutcome& out, bool& ha, bool& hb) -> Task<void> {
+    co_await f.Start();
+    f.PartitionShard(1);  // shard 1 never sees the prepare
+    std::vector<ShardOps> parts;
+    parts.push_back(ShardOps{.shard = 0, .ops = {Op(a)}});
+    parts.push_back(ShardOps{.shard = 1, .ops = {Op(b)}});
+    out = co_await f.coordinator().Execute(3, std::move(parts));
+    f.HealShard(1);
+    EXPECT_TRUE(co_await f.ResolveAllInDoubt(Duration::Seconds(5)));
+    ha = co_await HasKey(f, a);
+    hb = co_await HasKey(f, b);
+    co_await f.Shutdown();
+  }(sim, fleet, k0, k1, outcome, has0, has1));
+  sim.Run();
+  EXPECT_EQ(outcome, TxnOutcome::kAborted);
+  EXPECT_FALSE(has0);  // shard 0 prepared, then resolved to abort
+  EXPECT_FALSE(has1);
+  EXPECT_EQ(fleet.coordinator().stats().vote_timeouts.value(), 1);
+  // No decision record for a presumed abort.
+  EXPECT_EQ(fleet.coordinator().decision_log().stats().decisions_logged.value(),
+            0);
+}
+
+// --- Presumed-abort recovery from a dead coordinator -------------------------
+
+TEST(TwoPcTest, CoordinatorCrashMidDecisionResolvesConsistently) {
+  // Kill the coordinator at offsets sweeping the whole 2PC window — before
+  // the prepares land, mid-vote, mid-decision-write (torn decision-log
+  // tail), and after the decision is durable. Every offset must resolve
+  // consistently; at least one must catch the protocol in flight.
+  int unknowns = 0;
+  for (const int64_t kill_us : {50, 200, 500, 1000, 2000, 4000, 8000}) {
+    Simulator sim;
+    FleetTestbed fleet(sim, SmallFleet(2));
+    const uint64_t k0 = 30, k1 = (1 << 19) + 30;
+    TxnOutcome outcome = TxnOutcome::kAborted;
+    bool has0 = false, has1 = true, resolved = false;
+    sim.Spawn([](Simulator& s, FleetTestbed& f, uint64_t a, uint64_t b,
+                 int64_t at_us, TxnOutcome& out, bool& ha, bool& hb,
+                 bool& res) -> Task<void> {
+      co_await f.Start();
+      std::vector<ShardOps> parts;
+      parts.push_back(ShardOps{.shard = 0, .ops = {Op(a)}});
+      parts.push_back(ShardOps{.shard = 1, .ops = {Op(b)}});
+      s.Schedule(Duration::Micros(at_us), [&f] { f.KillCoordinator(); });
+      out = co_await f.coordinator().Execute(4, std::move(parts));
+      co_await s.Sleep(Duration::Millis(50));
+      if (!f.coordinator_alive()) {
+        co_await f.RecoverCoordinator();
+      }
+      // The shards' in-doubt resolvers query the recovered coordinator,
+      // which answers from the decision log (commit) or presumes abort.
+      res = co_await f.ResolveAllInDoubt(Duration::Seconds(10));
+      ha = co_await HasKey(f, a);
+      hb = co_await HasKey(f, b);
+      co_await f.Shutdown();
+    }(sim, fleet, k0, k1, kill_us, outcome, has0, has1, resolved));
+    sim.Run();
+    // A coordinator crash can never manufacture an abort ack: the outcome is
+    // either a durably-decided commit or unknown.
+    EXPECT_NE(outcome, TxnOutcome::kAborted) << "kill at " << kill_us << "us";
+    EXPECT_TRUE(resolved) << "kill at " << kill_us << "us";
+    EXPECT_EQ(has0, has1) << "kill at " << kill_us << "us";  // atomic
+    if (outcome == TxnOutcome::kCommitted) {
+      // Acked commit must survive the crash on both shards.
+      EXPECT_TRUE(has0) << "kill at " << kill_us << "us";
+    } else {
+      ++unknowns;
+    }
+  }
+  // The sweep must actually have caught the protocol mid-flight.
+  EXPECT_GT(unknowns, 0);
+}
+
+TEST(TwoPcTest, InDoubtParticipantSurvivesOwnCrashAndResolves) {
+  Simulator sim;
+  FleetTestbed fleet(sim, SmallFleet(2));
+  const uint64_t k0 = 40, k1 = (1 << 19) + 40;
+  TxnOutcome outcome = TxnOutcome::kUnknown;
+  bool has0 = false, has1 = false, resolved = false;
+  sim.Spawn([](Simulator& s, FleetTestbed& f, uint64_t a, uint64_t b,
+               TxnOutcome& out, bool& ha, bool& hb,
+               bool& res) -> Task<void> {
+    co_await f.Start();
+    // Partition shard 0 from the decision push: it prepares (votes yes),
+    // then loses power before any decision can reach it.
+    std::vector<ShardOps> parts;
+    parts.push_back(ShardOps{.shard = 0, .ops = {Op(a)}});
+    parts.push_back(ShardOps{.shard = 1, .ops = {Op(b)}});
+    s.Schedule(Duration::Millis(30), [&f] { f.KillShard(0); });
+    out = co_await f.coordinator().Execute(5, std::move(parts));
+    co_await s.Sleep(Duration::Millis(100));
+    co_await f.RecoverShard(0);
+    res = co_await f.ResolveAllInDoubt(Duration::Seconds(10));
+    ha = co_await HasKey(f, a);
+    hb = co_await HasKey(f, b);
+    co_await f.Shutdown();
+  }(sim, fleet, k0, k1, outcome, has0, has1, resolved));
+  sim.Run();
+  EXPECT_TRUE(resolved);
+  EXPECT_EQ(has0, has1);  // atomic either way
+  if (outcome == TxnOutcome::kCommitted) {
+    // If the client was acked, the crashed shard must have re-learned the
+    // commit from its prepare record plus the coordinator's decision log.
+    EXPECT_TRUE(has0);
+  }
+}
+
+// --- Stats registry: many testbeds, one process -------------------------------
+
+TEST(FleetStatsTest, TwoReplicatedTestbedsShareOneRegistry) {
+  Simulator sim;
+  TestbedOptions base;
+  base.mode = DeploymentMode::kRapiLog;
+  base.disks = DiskSetup::kSharedHdd;
+  base.db.profile = rldb::PostgresLikeProfile();
+  base.replication.enabled = true;
+  TestbedOptions a = base;
+  a.instance = "alpha.";
+  TestbedOptions b = base;
+  b.instance = "beta.";
+  Testbed bed_a(sim, a);
+  Testbed bed_b(sim, b);
+  rlsim::StatsRegistry registry;
+  bed_a.RegisterReplicationStats(registry);
+  // Before instance prefixes this second registration aborted on duplicate
+  // "net." / "ship." / "replica-N." names.
+  bed_b.RegisterReplicationStats(registry);
+  const std::string text = registry.Format();
+  EXPECT_NE(text.find("alpha.net."), std::string::npos);
+  EXPECT_NE(text.find("beta.net."), std::string::npos);
+  EXPECT_NE(text.find("alpha.replica-0."), std::string::npos);
+  EXPECT_NE(text.find("beta.replica-0."), std::string::npos);
+}
+
+TEST(FleetStatsTest, FleetRegistersEveryShardDistinctly) {
+  Simulator sim;
+  FleetTestbed fleet(sim, SmallFleet(3));
+  rlsim::StatsRegistry registry;
+  fleet.RegisterStats(registry);
+  const std::string text = registry.Format();
+  EXPECT_NE(text.find("coord.committed"), std::string::npos);
+  EXPECT_NE(text.find("shard-0.2pc."), std::string::npos);
+  EXPECT_NE(text.find("shard-2.2pc."), std::string::npos);
+  EXPECT_NE(text.find("fleet.net."), std::string::npos);
+}
+
+// --- 200-seed crash-point sweep ----------------------------------------------
+
+// One episode: a 2-shard fleet under cross-shard load; at a seeded instant a
+// seeded fault (coordinator kill / shard kill / partition) fires — the
+// instant sweeps across all 2PC message boundaries as seeds vary. After
+// wind-down and full recovery, the fleet atomicity oracle must hold.
+rlfault::VerifyResult RunCrashEpisode(uint64_t seed) {
+  Simulator sim;
+  FleetOptions opt = SmallFleet(2);
+  FleetTestbed fleet(sim, opt);
+  rlwork::FleetConfig wcfg;
+  wcfg.cross_shard_probability = 0.6;
+  wcfg.ops_per_txn = 3;
+  rlwork::FleetWorkload work(sim, wcfg);
+  rlfault::FleetChecker checker;
+  rlfault::VerifyResult result;
+  bool stop = false;
+
+  sim.Spawn([](Simulator& s, FleetTestbed& f, rlwork::FleetWorkload& w,
+               rlfault::FleetChecker& ck, rlfault::VerifyResult& res,
+               bool& stop_flag, uint64_t sd) -> Task<void> {
+    co_await f.Start();
+    for (int c = 0; c < 4; ++c) {
+      s.Spawn(w.RunClient(f.coordinator(), f.directory(), c, &stop_flag,
+                          &ck));
+    }
+    rlsim::Rng rng(sd * 0x9e3779b97f4a7c15ull + 1);
+    // Fault instant: anywhere in the first 400ms of load — prepares, votes,
+    // decision writes and decision pushes are all in flight in this window.
+    const Duration at = Duration::Micros(1000 + rng.NextBelow(400'000));
+    const uint64_t kind = rng.NextBelow(3);
+    const size_t victim = rng.NextBelow(2);
+    co_await s.Sleep(at);
+    switch (kind) {
+      case 0:
+        f.KillCoordinator();
+        break;
+      case 1:
+        f.KillShard(victim);
+        break;
+      default:
+        f.PartitionShard(victim);
+        break;
+    }
+    co_await s.Sleep(Duration::Millis(150));
+    // Wind-down: stop load, heal everything, recover everyone, drain doubt.
+    stop_flag = true;
+    co_await s.Sleep(Duration::Millis(50));
+    for (size_t i = 0; i < f.shard_count(); ++i) {
+      f.HealShard(i);
+    }
+    co_await f.RecoverCoordinator();
+    for (size_t i = 0; i < f.shard_count(); ++i) {
+      co_await f.RecoverShard(i);
+    }
+    EXPECT_TRUE(co_await f.ResolveAllInDoubt(Duration::Seconds(20)))
+        << "seed " << sd << ": in-doubt transactions never drained";
+    std::vector<rldb::Database*> dbs;
+    for (size_t i = 0; i < f.shard_count(); ++i) {
+      dbs.push_back(f.shard_db(i));
+    }
+    res = co_await ck.VerifyAfterRecovery(f.directory(), dbs);
+    co_await f.Shutdown();
+  }(sim, fleet, work, checker, result, stop, seed));
+  sim.Run();
+  return result;
+}
+
+TEST(TwoPcCrashSweepTest, AtomicityHoldsAcross200Seeds) {
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    const rlfault::VerifyResult r = RunCrashEpisode(seed);
+    EXPECT_EQ(r.atomicity_violations, 0u) << "seed " << seed;
+    EXPECT_EQ(r.lost_writes, 0u) << "seed " << seed << ": " << r.Summary();
+  }
+}
+
+}  // namespace
+}  // namespace rlharness

@@ -59,6 +59,16 @@ bool InAmbientBanDirs(std::string_view path) {
 // the one sanctioned home for threads (it fans out whole simulations; each
 // simulation stays single-threaded). tools/ and tests/ are host-side code
 // and exempt.
+//
+// Decision (revisited for src/shard): the fleet topology — N shard guests,
+// a coordinator, and the network fabric between them — deliberately gets NO
+// allowlist entry. "N machines" is modelled as N coroutine actors inside
+// ONE simulator, which is exactly what makes a 2PC crash schedule
+// replayable from a seed; real threads per shard would trade that away for
+// nothing (the simulated machines never execute concurrently anyway).
+// Fleet parallelism, like everything else, happens across whole
+// simulations: bench_e13_fleet fans sweep cells and rapilog_chaos fans
+// fleet episodes through parallel_runner, one Simulator per job.
 bool InThreadBanScope(std::string_view path) {
   if (path.substr(0, 2) == "./") path.remove_prefix(2);
   if (path.substr(0, 27) == "src/harness/parallel_runner") return false;
