@@ -7,6 +7,7 @@
 #include "src/db/errors.h"
 #include "src/sim/check.h"
 #include "src/sim/crc32.h"
+#include "src/sim/sync.h"
 
 namespace rldb {
 
@@ -32,10 +33,16 @@ std::string ToString(DbStatus s) {
 namespace {
 
 // Journal header page payload (after the 32-byte page header):
-//   [u64 seq][u32 count][count * u64 page_id][serialised MetaContent sector]
+//   [u64 seq][u32 count][kRedoSlices * u64 horizon][count * u64 page_id]
+//   [serialised MetaContent sector]
+// The horizon array is the fuzzy-checkpoint metadata: per-slice low-water
+// LSNs, valid for redo only when the header's seq matches the recovered
+// checkpoint's seq (any torn or stale header degrades recovery to the
+// global replay point, never to wrong data).
 constexpr size_t kJournalSeqOff = kPageHeaderBytes;
 constexpr size_t kJournalCountOff = kJournalSeqOff + 8;
-constexpr size_t kJournalIdsOff = kJournalCountOff + 4;
+constexpr size_t kJournalHorizonOff = kJournalCountOff + 4;
+constexpr size_t kJournalIdsOff = kJournalHorizonOff + kRedoSlices * 8;
 
 constexpr uint64_t kJournalHeaderPage = 0;
 
@@ -168,30 +175,44 @@ Task<void> Database::WriteMeta(const MetaContent& meta) {
   }
 }
 
-Task<bool> Database::ReplayJournalIfNewer(uint64_t meta_seq,
-                                          MetaContent* meta_out) {
+Task<Database::JournalHeaderInfo> Database::ReadJournalHeader() {
+  JournalHeaderInfo info;
+  stats_.journal_header_reads.Add();
   const uint32_t page_bytes = options_.profile.page_bytes;
   std::vector<uint8_t> header(page_bytes);
   const bool ok = co_await pool_->ReadPageDirect(kJournalHeaderPage, header);
-  if (!ok || !PageValid(header, kJournalHeaderPage)) {
-    co_return false;
-  }
-  if (ReadPageHeader(header).type != PageType::kJournalHeader) {
-    co_return false;
-  }
-  const uint64_t jseq = LoadScalar<uint64_t>(header, kJournalSeqOff);
-  if (jseq <= meta_seq) {
-    co_return false;  // journal is from a completed (or older) checkpoint
+  if (!ok || !PageValid(header, kJournalHeaderPage) ||
+      ReadPageHeader(header).type != PageType::kJournalHeader) {
+    co_return info;  // fresh device, torn header, or not a journal header
   }
   const uint32_t count = LoadScalar<uint32_t>(header, kJournalCountOff);
   RL_CHECK(kJournalIdsOff + count * 8ull + kSectorSize <= page_bytes);
+  info.page_ids.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    info.page_ids.push_back(
+        LoadScalar<uint64_t>(header, kJournalIdsOff + i * 8ull));
+  }
+  for (uint32_t s = 0; s < kRedoSlices; ++s) {
+    info.horizons[s] =
+        LoadScalar<uint64_t>(header, kJournalHorizonOff + s * 8ull);
+  }
+  // The header embeds the metadata of the checkpoint that wrote it; the page
+  // CRC already passed, so a corrupt blob here is real corruption.
+  const auto meta = DeserializeMeta(std::span<const uint8_t>(
+      header.data() + kJournalIdsOff + count * 8ull, kSectorSize));
+  RL_CHECK_MSG(meta.has_value(), "journal meta corrupt");
+  info.meta = *meta;
+  info.valid = true;
+  co_return info;
+}
 
+Task<void> Database::ReplayJournal(const JournalHeaderInfo& header) {
   // The checkpoint committed but its in-place writes may be incomplete:
   // copy every journaled page image into place.
+  const uint32_t page_bytes = options_.profile.page_bytes;
   std::vector<uint8_t> image(page_bytes);
-  for (uint32_t i = 0; i < count; ++i) {
-    const uint64_t page_id =
-        LoadScalar<uint64_t>(header, kJournalIdsOff + i * 8ull);
+  for (size_t i = 0; i < header.page_ids.size(); ++i) {
+    const uint64_t page_id = header.page_ids[i];
     const uint64_t slot = 1 + i;
     const bool read_ok = co_await pool_->ReadPageDirect(slot, image);
     if (!read_ok) {
@@ -210,15 +231,9 @@ Task<bool> Database::ReplayJournalIfNewer(uint64_t meta_seq,
     stats_.repaired_from_journal.Add();
   }
   co_await data_dev_.Flush();
-
-  // The journal header embeds the metadata of the committed checkpoint.
-  const auto meta = DeserializeMeta(std::span<const uint8_t>(
-      header.data() + kJournalIdsOff + count * 8ull, kSectorSize));
-  RL_CHECK_MSG(meta.has_value(), "journal meta corrupt");
-  *meta_out = *meta;
-  // Persist it into the regular slots so the next open is clean.
-  co_await WriteMeta(*meta_out);
-  co_return true;
+  // Persist the embedded metadata into the regular slots so the next open is
+  // clean even if this one dies before its post-recovery checkpoint.
+  co_await WriteMeta(header.meta);
 }
 
 // --- Recovery ----------------------------------------------------------------
@@ -239,13 +254,17 @@ Task<void> Database::FormatFresh() {
 }
 
 Task<void> Database::Recover() {
+  rlsim::SpanScope recover_span(sim_, "db", "recover", 0);
   tree_ = std::make_unique<BTree>(*pool_, options_.profile.value_bytes,
                                   &next_free_page_);
   auto meta = co_await ReadBestMeta();
-  MetaContent journal_meta;
-  if (co_await ReplayJournalIfNewer(meta.has_value() ? meta->seq : 0,
-                                    &journal_meta)) {
-    meta = journal_meta;
+  // The journal header page is read exactly once per recovery; the parsed
+  // result feeds the replay decision, the embedded metadata, and the fuzzy
+  // redo horizons below.
+  const JournalHeaderInfo jh = co_await ReadJournalHeader();
+  if (jh.valid && jh.meta.seq > (meta.has_value() ? meta->seq : 0)) {
+    co_await ReplayJournal(jh);
+    meta = jh.meta;
   }
   if (!meta.has_value()) {
     co_await FormatFresh();
@@ -263,8 +282,11 @@ Task<void> Database::Recover() {
   // neither a commit nor an abort record are in doubt: their write-sets are
   // rebuilt (not applied) and held under locks until the 2PC coordinator's
   // decision arrives (presumed abort when it never does).
+  const uint64_t scan_span =
+      sim_.EmitSpanBegin("db", "recover-scan", meta_.replay_block);
   const LogScanResult scan =
       co_await ScanLog(log_dev_, options_.profile, meta_.replay_block);
+  sim_.EmitSpanEnd(scan_span, "db", "recover-scan", scan.records.size());
   std::unordered_set<uint64_t> committed;
   std::unordered_set<uint64_t> aborted;
   std::map<uint64_t, uint64_t> prepared;  // txn id -> global id
@@ -297,7 +319,13 @@ Task<void> Database::Recover() {
     t.global_id = global_id;
     in_doubt.emplace(txn_id, std::move(t));
   }
-  for (const LogRecord& rec : scan.records) {
+  // Pass 2: rebuild in-doubt write-sets (never horizon-gated — their ops
+  // were not applied, so no checkpoint captured them) and collect the redo
+  // candidates: committed data records, in scan (= LSN) order.
+  std::vector<size_t> candidates;
+  candidates.reserve(scan.records.size());
+  for (size_t i = 0; i < scan.records.size(); ++i) {
+    const LogRecord& rec = scan.records[i];
     const auto doubt = in_doubt.find(rec.txn_id);
     if (doubt != in_doubt.end()) {
       // Rebuild the in-doubt write-set instead of applying it.
@@ -322,12 +350,25 @@ Task<void> Database::Recover() {
     if (!committed.contains(rec.txn_id)) {
       continue;
     }
-    co_await ApplyRecord(rec);
-    stats_.recovered_records.Add();
-    if (pool_->dirty_count() >= dirty_throttle_pages_) {
-      auto guard = co_await apply_mutex_->Lock();
-      co_await CheckpointLocked();
-    }
+    candidates.push_back(i);
+  }
+
+  // Redo horizons: a candidate at or below its slice's horizon is already
+  // captured by the recovered checkpoint's pages. The fuzzy per-slice array
+  // from the journal header is usable only when that header belongs to the
+  // checkpoint we actually recovered (seq match); anything else degrades to
+  // the global replay point, which is always sound (replay is idempotent).
+  std::array<uint64_t, kRedoSlices> horizons;
+  horizons.fill(meta_.replay_lsn > 0 ? meta_.replay_lsn - 1 : 0);
+  if (options_.recovery.use_fuzzy_horizons && jh.valid &&
+      jh.meta.seq == meta_.seq) {
+    horizons = jh.horizons;
+  }
+
+  if (options_.recovery.partitions <= 1) {
+    co_await RedoSequential(scan.records, candidates, horizons);
+  } else {
+    co_await RedoPartitioned(scan.records, candidates, horizons);
   }
   wal_->ResumeAt(scan.next_block, scan.next_lsn);
 
@@ -366,6 +407,107 @@ Task<void> Database::ApplyRecord(const LogRecord& rec) {
     case LogRecordType::kPrepare:
     case LogRecordType::kAbort:
       break;  // control records carry no tree mutation
+  }
+}
+
+Task<void> Database::RedoSequential(
+    const std::vector<LogRecord>& records,
+    const std::vector<size_t>& candidates,
+    const std::array<uint64_t, kRedoSlices>& horizons) {
+  rlsim::SpanScope span(sim_, "db", "redo-sequential", candidates.size());
+  for (const size_t idx : candidates) {
+    const LogRecord& rec = records[idx];
+    // Decode cost is paid per candidate: the key must be decoded before the
+    // horizon can rule the record out.
+    co_await cpu_.Compute(options_.profile.cpu_per_redo);
+    if (rec.lsn <= horizons[RedoSliceOf(rec.key)]) {
+      stats_.redo_skipped_by_horizon.Add();
+      continue;
+    }
+    co_await ApplyRecord(rec);
+    stats_.recovered_records.Add();
+    stats_.redo_installed_ops.Add();
+    if (pool_->dirty_count() >= dirty_throttle_pages_) {
+      auto guard = co_await apply_mutex_->Lock();
+      co_await CheckpointLocked();
+    }
+  }
+}
+
+Task<void> Database::RedoPartitioned(
+    const std::vector<LogRecord>& records,
+    const std::vector<size_t>& candidates,
+    const std::array<uint64_t, kRedoSlices>& horizons) {
+  // Phase A — partition and reduce. Candidates are bucketed by key slice
+  // into K streams (contiguous slice ranges, so the persisted per-slice
+  // horizons apply unchanged at any K); worker coroutines then reduce each
+  // stream to its net effect: the last record for a key wins. All records
+  // of a key share one slice, hence one stream and one horizon, so
+  // filter-then-reduce equals reduce-then-filter and the net-op set is
+  // independent of K and of the worker count.
+  const uint32_t streams =
+      std::min(std::max<uint32_t>(options_.recovery.partitions, 2),
+               kRedoSlices);
+  rlsim::SpanScope span(sim_, "db", "redo-partitioned", streams);
+  struct Stream {
+    std::vector<size_t> candidates;            // indices, LSN order
+    std::map<uint64_t, const LogRecord*> net;  // key -> winning record
+    uint64_t replayed = 0;
+    uint64_t skipped = 0;
+  };
+  std::vector<Stream> plan(streams);
+  for (const size_t idx : candidates) {
+    const uint32_t slice = RedoSliceOf(records[idx].key);
+    plan[slice * streams / kRedoSlices].candidates.push_back(idx);
+  }
+
+  const uint32_t workers =
+      options_.recovery.jobs == 0
+          ? streams
+          : std::min(options_.recovery.jobs, streams);
+  size_t next_stream = 0;
+  rlsim::TaskGroup group(sim_);
+  for (uint32_t w = 0; w < workers; ++w) {
+    group.Spawn(
+        [](Database& db, const std::vector<LogRecord>& records,
+           const std::array<uint64_t, kRedoSlices>& horizons,
+           std::vector<Stream>& plan, size_t& next_stream) -> Task<void> {
+          while (next_stream < plan.size()) {
+            Stream& s = plan[next_stream++];
+            for (const size_t idx : s.candidates) {
+              const LogRecord& rec = records[idx];
+              co_await db.cpu_.Compute(db.options_.profile.cpu_per_redo);
+              if (rec.lsn <= horizons[RedoSliceOf(rec.key)]) {
+                ++s.skipped;
+                continue;
+              }
+              s.net[rec.key] = &rec;  // later record for the key wins
+              ++s.replayed;
+            }
+          }
+        }(*this, records, horizons, plan, next_stream),
+        "redo-stream");
+  }
+  co_await group.Join();
+
+  // Phase B — canonical install. Stream key sets are disjoint (a key maps
+  // to exactly one stream), so merging the net-op maps and applying them in
+  // ascending key order yields one fixed tree: byte-identical at any
+  // partition or worker count >= 2, content-identical to sequential replay.
+  std::map<uint64_t, const LogRecord*> net;
+  for (Stream& s : plan) {
+    stats_.recovered_records.Add(static_cast<int64_t>(s.replayed));
+    stats_.redo_skipped_by_horizon.Add(static_cast<int64_t>(s.skipped));
+    net.merge(s.net);
+  }
+  rlsim::SpanScope install_span(sim_, "db", "redo-install", net.size());
+  for (const auto& [key, rec] : net) {
+    co_await ApplyRecord(*rec);
+    stats_.redo_installed_ops.Add();
+    if (pool_->dirty_count() >= dirty_throttle_pages_) {
+      auto guard = co_await apply_mutex_->Lock();
+      co_await CheckpointLocked();
+    }
   }
 }
 
@@ -714,6 +856,25 @@ Database::StagedCheckpoint Database::StageCheckpoint() {
   staged.meta.replay_lsn = replay_lsn;
   staged.meta.page_bytes = options_.profile.page_bytes;
 
+  // Fuzzy redo horizons: per slice, the highest LSN this snapshot fully
+  // captures. Everything applied so far is in the staged pages, so every
+  // slice starts at next_lsn - 1; a resident transaction with logged but
+  // unapplied records (mid-commit or prepared in-doubt — the latter pin the
+  // global replay point arbitrarily far back) drags down only the slices
+  // its keys actually touch. Untouched slices keep the high horizon, which
+  // is exactly the recovery-time win over the global replay point.
+  const uint64_t captured = wal_->next_lsn() > 0 ? wal_->next_lsn() - 1 : 0;
+  staged.horizons.fill(captured);
+  for (const auto& [id, t] : txns_) {
+    if (t.first_lsn == 0) {
+      continue;
+    }
+    for (const WriteOp& op : t.ops) {
+      const uint32_t s = RedoSliceOf(op.key);
+      staged.horizons[s] = std::min(staged.horizons[s], t.first_lsn - 1);
+    }
+  }
+
   staged.pages.reserve(dirty.size());
   for (BufferPool::Frame* f : dirty) {
     std::vector<uint8_t> image = f->data;
@@ -753,6 +914,10 @@ Task<void> Database::PersistCheckpoint(StagedCheckpoint staged) {
     StoreScalar<uint64_t>(header, kJournalSeqOff, staged.meta.seq);
     StoreScalar<uint32_t>(header, kJournalCountOff,
                           static_cast<uint32_t>(staged.pages.size()));
+    for (uint32_t s = 0; s < kRedoSlices; ++s) {
+      StoreScalar<uint64_t>(header, kJournalHorizonOff + s * 8,
+                            staged.horizons[s]);
+    }
     for (size_t i = 0; i < staged.pages.size(); ++i) {
       StoreScalar<uint64_t>(header, kJournalIdsOff + i * 8,
                             staged.pages[i].first->page_id);
@@ -804,6 +969,27 @@ Task<uint64_t> Database::CommittedCount() {
 
 Task<void> Database::CheckTreeStructure() {
   co_await tree_->CheckStructure(root_);
+}
+
+Task<uint64_t> Database::ContentHash() {
+  // FNV-1a over (key, value) pairs in ascending key order. Depends only on
+  // the committed contents, not the physical page layout — sequential and
+  // partitioned redo build structurally different trees from the same log.
+  uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](const uint8_t* data, size_t len) {
+    for (size_t i = 0; i < len; ++i) {
+      hash ^= data[i];
+      hash *= 1099511628211ull;
+    }
+  };
+  co_await tree_->Scan(
+      root_, 0, UINT64_MAX,
+      [&mix](uint64_t key, std::span<const uint8_t> value) {
+        mix(reinterpret_cast<const uint8_t*>(&key), sizeof(key));
+        mix(value.data(), value.size());
+        return true;
+      });
+  co_return hash;
 }
 
 }  // namespace rldb

@@ -13,6 +13,7 @@
 //     tree recovery starts from is always structurally consistent.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -40,6 +41,26 @@ enum class DbStatus {
 
 std::string ToString(DbStatus s);
 
+// How crash recovery replays the committed WAL suffix. Every setting yields
+// the same recovered contents (asserted by the recovery-equivalence oracle);
+// the knobs trade virtual recovery time only.
+struct RecoveryOptions {
+  // Redo streams. <= 1 replays the classic way: one sequential pass in LSN
+  // order. >= 2 partitions redo records by key slice (layout.h RedoSliceOf)
+  // into this many streams, overlaps their decode CPU in virtual time, and
+  // installs the resulting net-ops in canonical ascending-key order — so the
+  // recovered tree is byte-identical at any partition/worker count >= 2 and
+  // content-identical to the sequential replay.
+  uint32_t partitions = 1;
+  // Concurrent redo worker coroutines draining the streams (simulated
+  // recovery cores). 0 = one worker per stream. Affects only virtual time.
+  uint32_t jobs = 0;
+  // Use the per-slice low-water LSNs persisted in the journal header to skip
+  // records a checkpoint already captured. Off = every slice falls back to
+  // the global replay point (strictly more records replayed; same result).
+  bool use_fuzzy_horizons = true;
+};
+
 struct DbOptions {
   EngineProfile profile;
   DurabilityMode durability = DurabilityMode::kSync;
@@ -47,6 +68,7 @@ struct DbOptions {
   // Journal region size in pages; must exceed profile.checkpoint_dirty_pages
   // plus headroom for pages dirtied while a checkpoint is pending.
   uint32_t journal_pages = 2048;
+  RecoveryOptions recovery;
 };
 
 class Database {
@@ -55,7 +77,10 @@ class Database {
     rlsim::Counter commits;
     rlsim::Counter aborts;
     rlsim::Counter checkpoints;
-    rlsim::Counter recovered_records;
+    rlsim::Counter recovered_records;   // redo records replayed (post-horizon)
+    rlsim::Counter redo_skipped_by_horizon;  // redo records a horizon retired
+    rlsim::Counter redo_installed_ops;  // tree mutations the redo performed
+    rlsim::Counter journal_header_reads;  // journal header page reads/recovery
     rlsim::Counter repaired_from_journal;
     rlsim::Counter prepares;            // durable 2PC yes-votes
     rlsim::Counter in_doubt_recovered;  // prepared txns rebuilt at recovery
@@ -127,6 +152,12 @@ class Database {
   rlsim::Task<uint64_t> CommittedCount();
   rlsim::Task<void> CheckTreeStructure();
 
+  // FNV-1a over every (key, value) pair in ascending key order: the
+  // canonical content fingerprint the recovery-equivalence oracles compare.
+  // Deliberately independent of physical page layout — sequential and
+  // partitioned redo produce different trees, identical contents.
+  rlsim::Task<uint64_t> ContentHash();
+
   const Stats& stats() const { return stats_; }
   const LogWriter& log_writer() const { return *wal_; }
   LogWriter& log_writer() { return *wal_; }
@@ -165,16 +196,38 @@ class Database {
   // happens afterwards from the staged images.
   struct StagedCheckpoint {
     MetaContent meta;
+    // Per-slice low-water LSNs: records at or below horizons[s] whose key
+    // falls in slice s are fully captured by this checkpoint's page images,
+    // so a later recovery may skip re-applying them.
+    std::array<uint64_t, kRedoSlices> horizons{};
     std::vector<std::pair<BufferPool::Frame*, std::vector<uint8_t>>> pages;
+  };
+
+  // The journal header page, read and parsed once per recovery and shared by
+  // every consumer (journal-replay decision, embedded metadata, fuzzy
+  // horizons) — the page is never re-read.
+  struct JournalHeaderInfo {
+    bool valid = false;      // page present, CRC-clean, right type
+    MetaContent meta;        // checkpoint metadata embedded in the header
+    std::vector<uint64_t> page_ids;  // journaled page ids, slot order
+    std::array<uint64_t, kRedoSlices> horizons{};  // per-slice low-water LSN
   };
 
   rlsim::Task<void> Recover();
   rlsim::Task<void> FormatFresh();
   rlsim::Task<std::optional<MetaContent>> ReadBestMeta();
   rlsim::Task<void> WriteMeta(const MetaContent& meta);
-  rlsim::Task<bool> ReplayJournalIfNewer(uint64_t meta_seq,
-                                         MetaContent* meta_out);
+  rlsim::Task<JournalHeaderInfo> ReadJournalHeader();
+  rlsim::Task<void> ReplayJournal(const JournalHeaderInfo& header);
   rlsim::Task<void> ApplyRecord(const LogRecord& rec);
+  rlsim::Task<void> RedoSequential(const std::vector<LogRecord>& records,
+                                   const std::vector<size_t>& candidates,
+                                   const std::array<uint64_t, kRedoSlices>&
+                                       horizons);
+  rlsim::Task<void> RedoPartitioned(const std::vector<LogRecord>& records,
+                                    const std::vector<size_t>& candidates,
+                                    const std::array<uint64_t, kRedoSlices>&
+                                        horizons);
   rlsim::Task<void> ThrottleDirtyPages();
   StagedCheckpoint StageCheckpoint();  // caller must hold apply_mutex_
   rlsim::Task<void> PersistCheckpoint(StagedCheckpoint staged);

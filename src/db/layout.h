@@ -158,4 +158,24 @@ inline uint64_t PageLba(uint64_t page_id, uint32_t page_bytes) {
   return kFirstPageSector + page_id * (page_bytes / rlstor::kSectorSize);
 }
 
+// --- Redo partitioning -------------------------------------------------------
+//
+// Redo records are partitioned by a fixed hash of the row key into
+// kRedoSlices slices; a recovery with K redo streams groups the slices into
+// K contiguous ranges. The slice count is an on-disk constant: the journal
+// header page persists one low-water LSN per slice (the "fuzzy horizon"),
+// so it cannot change without a format change.
+inline constexpr uint32_t kRedoSlices = 64;
+
+// Deterministic key -> slice map (splitmix-style finalizer). Must be stable
+// across builds and platforms: the persisted per-slice horizons are only
+// meaningful if recovery buckets keys exactly as the checkpoint did.
+inline uint32_t RedoSliceOf(uint64_t key) {
+  uint64_t x = key + 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return static_cast<uint32_t>(x & (kRedoSlices - 1));
+}
+
 }  // namespace rldb

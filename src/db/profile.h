@@ -46,6 +46,11 @@ struct EngineProfile {
   rlsim::Duration cpu_per_get = rlsim::Duration::Micros(4);
   rlsim::Duration cpu_per_put = rlsim::Duration::Micros(6);
   rlsim::Duration cpu_per_commit = rlsim::Duration::Micros(10);
+  // Recovery: decode + re-apply cost per replayed WAL record. Cheaper than
+  // cpu_per_put (no locking, no logging); partitioned redo overlaps this
+  // cost across its streams, which is where its recovery-time win comes
+  // from (the log devices themselves are single-actuator).
+  rlsim::Duration cpu_per_redo = rlsim::Duration::Micros(3);
 
   // Checkpoint trigger: flush when this many pages are dirty.
   uint32_t checkpoint_dirty_pages = 512;
@@ -87,6 +92,7 @@ inline EngineProfile CommercialLikeProfile() {
   p.cpu_per_get = rlsim::Duration::Micros(3);
   p.cpu_per_put = rlsim::Duration::Micros(5);
   p.cpu_per_commit = rlsim::Duration::Micros(8);
+  p.cpu_per_redo = rlsim::Duration::Micros(2);
   return p;
 }
 

@@ -8,6 +8,7 @@
 
 #include "src/db/errors.h"
 #include "src/faults/durability_checker.h"
+#include "src/faults/recovery_oracle.h"
 #include "src/harness/parallel_runner.h"
 #include "src/obs/flight_recorder.h"
 #include "src/sim/check.h"
@@ -304,6 +305,12 @@ Task<void> EpisodeMain(EpisodeState& st) {
   }
   // Frames already on the wire drain into the replicas; devices settle.
   co_await sim.Sleep(Duration::Seconds(1));
+
+  // Freeze the crash state for the recovery-equivalence oracle before the
+  // testbed's own recovery (checkpoints, meta flips) mutates the images.
+  const rlstor::DiskImage data_snapshot = bed.data_disk().image();
+  const rlstor::DiskImage log_snapshot = bed.log_disk_physical().image();
+
   for (size_t r = 0; r < bed.replica_count(); ++r) {
     bed.ReviveReplica(r);
   }
@@ -349,6 +356,34 @@ Task<void> EpisodeMain(EpisodeState& st) {
   ++st.out.recoveries;
   co_await RunOracles(st, "final");
 
+  // Recovery-time oracle: recover the frozen crash state on throwaway
+  // device clones with sequential and with partitioned redo; the contents,
+  // in-doubt set, and replay-work counters must be identical, and both
+  // recoveries must land inside the virtual-time budget.
+  try {
+    rlfault::RecoveryOracleOptions ropts;
+    ropts.db = bed.options().db;
+    ropts.partitions = 8;
+    ropts.data_first_lba = bed.data_first_lba();
+    ropts.log_sector_count = bed.log_sector_count();
+    const rlfault::RecoveryEquivalence eq =
+        co_await rlfault::CheckRecoveryEquivalence(sim, data_snapshot,
+                                                   log_snapshot, ropts);
+    ++st.out.recovery_equiv_checks;
+    if (!eq.equivalent()) {
+      ++st.out.recovery_equiv_mismatches;
+      st.out.violations.push_back("recovery equivalence: " + eq.Summary());
+    }
+    if (!eq.within_budget(ropts.budget)) {
+      st.out.violations.push_back("recovery budget exceeded: " +
+                                  eq.Summary());
+    }
+    Trace(st.run.trace, sim, "recovery-equivalence %s", eq.Summary().c_str());
+  } catch (...) {
+    st.out.violations.push_back(
+        "recovery-equivalence probe died on the crash images");
+  }
+
   // RapiLog's contract: with the power guard on, the emergency flush drains
   // the buffer inside the hold-up window — buffered-ack loss is a violation.
   // With the guard ablated, loss is the EXPECTED planted failure.
@@ -374,6 +409,8 @@ uint64_t EpisodeOutcome::Hash() const {
   h = FnvMix(h, audit_sectors_underreplicated);
   h = FnvMix(h, fleet_cross_committed);
   h = FnvMix(h, fleet_unknown_outcomes);
+  h = FnvMix(h, recovery_equiv_checks);
+  h = FnvMix(h, recovery_equiv_mismatches);
   h = FnvMix(h, static_cast<uint64_t>(end_time_ns));
   h = FnvMix(h, violations.size());
   return h;
@@ -416,6 +453,9 @@ EpisodeOutcome RunEpisode(const EpisodeConfig& cfg, const RunOptions& run) {
   opts.db.pool_pages = 512;
   opts.db.journal_pages = 300;
   opts.db.profile.checkpoint_dirty_pages = 128;
+  // Chaos-kill recoveries run partitioned redo; the recovery-equivalence
+  // oracle at wind-down cross-checks it against sequential replay.
+  opts.db.recovery.partitions = 8;
   opts.rapilog.enable_power_guard = cfg.power_guard;
   if (cfg.replicas > 0) {
     opts.replication.enabled = true;

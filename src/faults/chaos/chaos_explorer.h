@@ -51,6 +51,10 @@ struct EpisodeOutcome {
   // outcomes the atomicity oracle adjudicated. Zero in classic episodes.
   uint64_t fleet_cross_committed = 0;
   uint64_t fleet_unknown_outcomes = 0;  // txns left in doubt by a crash
+  // Recovery-equivalence oracle: crash states recovered on device clones
+  // under sequential and partitioned redo and compared.
+  uint64_t recovery_equiv_checks = 0;
+  uint64_t recovery_equiv_mismatches = 0;
   int64_t end_time_ns = 0;  // virtual time consumed by the episode
   std::vector<std::string> violations;
   // Post-mortem: the flight recorder's "last N events before death" dump,

@@ -284,6 +284,9 @@ EpisodeOutcome RunFleetEpisode(const EpisodeConfig& cfg,
   fopt.shard.db.pool_pages = 512;
   fopt.shard.db.journal_pages = 300;
   fopt.shard.db.profile.checkpoint_dirty_pages = 128;
+  // Shard recovery after chaos kills uses partitioned redo, same as the
+  // classic episodes (equivalence is asserted there on the cloned images).
+  fopt.shard.db.recovery.partitions = 8;
   fopt.shard.rapilog.enable_power_guard = cfg.power_guard;
   FleetTestbed fleet(sim, fopt);
 

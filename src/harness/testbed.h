@@ -134,6 +134,13 @@ class Testbed {
   rlstor::SimBlockDevice& log_disk_physical() {
     return separate_log_disk_ ? *separate_log_disk_ : *data_disk_;
   }
+  // Physical layout for disk-image tooling (the recovery-equivalence oracle
+  // clones crash states): where the engine's data LBA 0 sits on data_disk(),
+  // and how many sectors of log_disk_physical() the log region occupies.
+  uint64_t data_first_lba() const {
+    return separate_log_disk_ ? 0 : log_sector_count_;
+  }
+  uint64_t log_sector_count() const { return log_sector_count_; }
   rlrep::LogShipper* shipper() { return shipper_.get(); }
   const rlrep::LogShipper* shipper() const { return shipper_.get(); }
   rlrep::ReplicaNode& replica(size_t r) { return *replicas_.at(r); }

@@ -317,24 +317,37 @@ TEST(FleetStatsTest, FleetRegistersEveryShardDistinctly) {
 
 // --- 200-seed crash-point sweep ----------------------------------------------
 
+// Everything a crash episode must reproduce regardless of how the shards
+// replay their logs: the oracle verdict, the in-doubt transactions each
+// shard reinstates from its prepare records (captured before the resolver
+// drains them), and the full committed contents per shard.
+struct FleetCrashOutcome {
+  rlfault::VerifyResult verdict;
+  std::vector<std::vector<uint64_t>> in_doubt;  // per shard, pre-resolution
+  std::vector<uint64_t> shard_hashes;
+};
+
 // One episode: a 2-shard fleet under cross-shard load; at a seeded instant a
 // seeded fault (coordinator kill / shard kill / partition) fires — the
 // instant sweeps across all 2PC message boundaries as seeds vary. After
 // wind-down and full recovery, the fleet atomicity oracle must hold.
-rlfault::VerifyResult RunCrashEpisode(uint64_t seed) {
+// `partitions` selects the shards' redo mode on every recovery (mid-episode
+// and final alike); it must never change anything this returns.
+FleetCrashOutcome RunCrashEpisode(uint64_t seed, uint32_t partitions = 1) {
   Simulator sim;
   FleetOptions opt = SmallFleet(2);
+  opt.shard.db.recovery.partitions = partitions;
   FleetTestbed fleet(sim, opt);
   rlwork::FleetConfig wcfg;
   wcfg.cross_shard_probability = 0.6;
   wcfg.ops_per_txn = 3;
   rlwork::FleetWorkload work(sim, wcfg);
   rlfault::FleetChecker checker;
-  rlfault::VerifyResult result;
+  FleetCrashOutcome result;
   bool stop = false;
 
   sim.Spawn([](Simulator& s, FleetTestbed& f, rlwork::FleetWorkload& w,
-               rlfault::FleetChecker& ck, rlfault::VerifyResult& res,
+               rlfault::FleetChecker& ck, FleetCrashOutcome& res,
                bool& stop_flag, uint64_t sd) -> Task<void> {
     co_await f.Start();
     for (int c = 0; c < 4; ++c) {
@@ -370,13 +383,22 @@ rlfault::VerifyResult RunCrashEpisode(uint64_t seed) {
     for (size_t i = 0; i < f.shard_count(); ++i) {
       co_await f.RecoverShard(i);
     }
+    // The in-doubt sets the shards rebuilt from their prepare records —
+    // snapshotted before the resolver drains them, because reinstatement is
+    // part of recovery and must not depend on the redo mode.
+    for (size_t i = 0; i < f.shard_count(); ++i) {
+      res.in_doubt.push_back(f.shard_db(i)->InDoubtGlobalIds());
+    }
     EXPECT_TRUE(co_await f.ResolveAllInDoubt(Duration::Seconds(20)))
         << "seed " << sd << ": in-doubt transactions never drained";
     std::vector<rldb::Database*> dbs;
     for (size_t i = 0; i < f.shard_count(); ++i) {
       dbs.push_back(f.shard_db(i));
     }
-    res = co_await ck.VerifyAfterRecovery(f.directory(), dbs);
+    res.verdict = co_await ck.VerifyAfterRecovery(f.directory(), dbs);
+    for (size_t i = 0; i < f.shard_count(); ++i) {
+      res.shard_hashes.push_back(co_await f.shard_db(i)->ContentHash());
+    }
     co_await f.Shutdown();
   }(sim, fleet, work, checker, result, stop, seed));
   sim.Run();
@@ -385,10 +407,41 @@ rlfault::VerifyResult RunCrashEpisode(uint64_t seed) {
 
 TEST(TwoPcCrashSweepTest, AtomicityHoldsAcross200Seeds) {
   for (uint64_t seed = 0; seed < 200; ++seed) {
-    const rlfault::VerifyResult r = RunCrashEpisode(seed);
+    const rlfault::VerifyResult r = RunCrashEpisode(seed).verdict;
     EXPECT_EQ(r.atomicity_violations, 0u) << "seed " << seed;
     EXPECT_EQ(r.lost_writes, 0u) << "seed " << seed << ": " << r.Summary();
   }
+}
+
+TEST(TwoPcCrashSweepTest, RedoModeNeverChangesTheOutcome) {
+  // Same seeds, both redo modes: the fault fires at the same virtual
+  // instant on the same fleet, so the crash images are bit-identical and
+  // the diff isolates the recovery path. Verdict, reinstated in-doubt sets,
+  // and per-shard contents must all match — a partitioned replay that
+  // dropped or reordered a prepare record would show up here first.
+  uint64_t episodes_with_doubt = 0;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    const FleetCrashOutcome seq = RunCrashEpisode(seed, 1);
+    const FleetCrashOutcome part = RunCrashEpisode(seed, 8);
+    EXPECT_EQ(seq.verdict.atomicity_violations, 0u) << "seed " << seed;
+    EXPECT_EQ(part.verdict.atomicity_violations, 0u) << "seed " << seed;
+    EXPECT_EQ(seq.verdict.lost_writes, part.verdict.lost_writes)
+        << "seed " << seed;
+    EXPECT_EQ(seq.verdict.keys_checked, part.verdict.keys_checked)
+        << "seed " << seed;
+    ASSERT_EQ(seq.in_doubt, part.in_doubt)
+        << "seed " << seed << ": in-doubt reinstatement diverged";
+    ASSERT_EQ(seq.shard_hashes, part.shard_hashes)
+        << "seed " << seed << ": recovered contents diverged";
+    for (const auto& shard : seq.in_doubt) {
+      if (!shard.empty()) {
+        ++episodes_with_doubt;
+        break;
+      }
+    }
+  }
+  // The sweep must actually catch prepared transactions in flight.
+  EXPECT_GT(episodes_with_doubt, 5u);
 }
 
 }  // namespace
