@@ -390,6 +390,9 @@ Task<void> Database::Recover() {
 
   // Persist the recovered state so the next crash replays less.
   if (!scan.records.empty() || pool_->dirty_count() > 0) {
+    // rapicheck: lock-ok (the apparent locks_ -> apply_mutex_ inversion is
+    // a name merge: Commit's apply-section calls BTree::Remove, which
+    // rapicheck conflates with Database::Remove's lock acquisition)
     auto guard = co_await apply_mutex_->Lock();
     co_await CheckpointLocked();
   }
@@ -599,6 +602,8 @@ Task<DbStatus> Database::Commit(uint64_t txn) {
   if (t.ops.empty()) {
     locks_->ReleaseAll(txn);
     txns_.erase(it);
+    // rapicheck: ack-ok (read-only commit: no records were written, so
+    // there is nothing to make durable before acknowledging)
     stats_.commits.Add();
     stats_.commit_latency.RecordDuration(sim_.now() - start);
     co_return DbStatus::kOk;
@@ -985,7 +990,13 @@ Task<uint64_t> Database::ContentHash() {
   co_await tree_->Scan(
       root_, 0, UINT64_MAX,
       [&mix](uint64_t key, std::span<const uint8_t> value) {
-        mix(reinterpret_cast<const uint8_t*>(&key), sizeof(key));
+        // Keys are mixed in explicit little-endian byte order so the hash
+        // is a property of the contents, not the host representation.
+        uint8_t key_bytes[sizeof(key)];
+        for (size_t i = 0; i < sizeof(key); ++i) {
+          key_bytes[i] = static_cast<uint8_t>(key >> (8 * i));
+        }
+        mix(key_bytes, sizeof(key));
         mix(value.data(), value.size());
         return true;
       });

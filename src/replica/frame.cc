@@ -8,15 +8,22 @@ namespace rlrep {
 
 namespace {
 
+// Fixed little-endian field codec: the frame bytes are a wire format, so
+// they are spelled out shift-by-shift instead of memcpy'd through object
+// representations (host endianness must not leak into the stream).
 template <typename T>
 void Store(std::vector<uint8_t>& buf, size_t offset, T value) {
-  std::memcpy(buf.data() + offset, &value, sizeof(T));
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    buf[offset + i] = static_cast<uint8_t>(value >> (8 * i));
+  }
 }
 
 template <typename T>
 T Load(std::span<const uint8_t> buf, size_t offset) {
-  T value;
-  std::memcpy(&value, buf.data() + offset, sizeof(T));
+  T value = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    value |= static_cast<T>(buf[offset + i]) << (8 * i);
+  }
   return value;
 }
 

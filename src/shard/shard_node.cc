@@ -56,8 +56,14 @@ rlsim::Task<void> ShardNode::ReceiveLoop() {
             HandleQueryResp(msg.global_id, static_cast<QueryAnswer>(msg.flag)),
             name_ + "-resolve");
         break;
-      default:
-        break;  // shard-bound types only
+      case MsgType::kVote:
+      case MsgType::kExecuteResp:
+      case MsgType::kDecisionAck:
+      case MsgType::kQuery:
+        // Coordinator-bound kinds arriving at a shard: a peer bug, not a
+        // silent drop — counted so tests and chaos runs can assert zero.
+        stats_.unexpected_msgs.Add();
+        break;
     }
   }
 }
@@ -149,16 +155,24 @@ rlsim::Task<void> ShardNode::HandleDecision(uint64_t global_id, bool commit) {
 
 rlsim::Task<void> ShardNode::HandleQueryResp(uint64_t global_id,
                                              QueryAnswer answer) {
-  if (answer == QueryAnswer::kPending) {
-    co_return;  // coordinator is still driving it; keep waiting
+  bool commit = false;
+  switch (answer) {
+    case QueryAnswer::kPending:
+      co_return;  // coordinator is still driving it; keep waiting
+    case QueryAnswer::kCommit:
+      commit = true;
+      break;
+    case QueryAnswer::kAbort:
+      commit = false;  // presumed abort: no durable decision exists
+      break;
   }
   try {
     rldb::Database* db = provider_();
     if (db == nullptr) {
       co_return;
     }
-    const rldb::DbStatus st = co_await db->ResolveInDoubt(
-        global_id, answer == QueryAnswer::kCommit);
+    const rldb::DbStatus st =
+        co_await db->ResolveInDoubt(global_id, commit);
     if (st == rldb::DbStatus::kOk) {
       stats_.resolved_by_query.Add();
     }

@@ -49,6 +49,7 @@ class ShardNode {
     rlsim::Counter queries_sent;
     rlsim::Counter resolved_by_query;
     rlsim::Counter machine_deaths;  // handler died with the shard
+    rlsim::Counter unexpected_msgs;  // coordinator-bound kinds sent to us
   };
 
   // Returns the shard's live engine, or nullptr while the machine is down.

@@ -272,8 +272,14 @@ void TxnCoordinator::HandleMessage(const rlnet::Message& raw) {
       fabric_.Send(name_, raw.from, EncodeMessage(resp));
       return;
     }
-    default:
-      return;  // coordinator-bound types only; ignore anything else
+    case MsgType::kPrepareReq:
+    case MsgType::kExecuteReq:
+    case MsgType::kDecision:
+    case MsgType::kQueryResp:
+      // Shard-bound kinds arriving at the coordinator: a peer bug, not a
+      // silent drop — counted so tests and chaos runs can assert zero.
+      stats_.unexpected_msgs.Add();
+      return;
   }
 }
 
@@ -287,6 +293,8 @@ void TxnCoordinator::Crash() {
   // Resolve every in-flight Execute to kUnknown. Entries are marked rather
   // than erased so waiting coroutines (which hold references) wake safely
   // and erase their own.
+  // simlint: ordered-ok (this pending_ is the coordinator's std::map, not
+  // the unordered fleet_checker member of the same name)
   for (auto& [gid, p] : pending_) {
     if (!p.done) {
       p.done = true;

@@ -81,6 +81,7 @@ class TxnCoordinator {
     rlsim::Counter decision_resends;
     rlsim::Counter queries_answered;
     rlsim::Counter crashes;
+    rlsim::Counter unexpected_msgs;  // shard-bound kinds sent to us
     rlsim::Histogram txn_latency;  // ns, Execute entry to outcome
   };
 

@@ -15,7 +15,6 @@
 #include <gtest/gtest.h>
 
 #include <memory>
-#include <random>
 
 #include "src/db/errors.h"
 #include "src/sim/simulator.h"
@@ -57,41 +56,41 @@ std::vector<uint8_t> MakeValue(const EngineProfile& profile, uint64_t seed) {
 // the machine dying under us — both are normal ends here.
 Task<void> Workload(Simulator& sim, Database& db, uint64_t seed,
                     const bool* stop) {
-  std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ull + 1);
+  rlsim::Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
   const EngineProfile& profile = db.options().profile;
   int prepares_left = (seed % 3 == 0) ? 2 : 0;
   try {
     while (!*stop) {
       const uint64_t txn = db.Begin();
-      const int ops = 1 + static_cast<int>(rng() % 5);
+      const int ops = 1 + static_cast<int>(rng.Next() % 5);
       bool dead = false;
       for (int o = 0; o < ops && !dead; ++o) {
-        const uint64_t key = rng() % kKeySpace;
+        const uint64_t key = rng.Next() % kKeySpace;
         const DbStatus st =
-            (rng() % 8 == 0)
+            (rng.Next() % 8 == 0)
                 ? co_await db.Remove(txn, key)
-                : co_await db.Put(txn, key, MakeValue(profile, rng()));
+                : co_await db.Put(txn, key, MakeValue(profile, rng.Next()));
         dead = st == DbStatus::kLockTimeout;
       }
       if (dead) {
         continue;  // the engine already aborted the txn
       }
-      if (rng() % 10 == 0) {
+      if (rng.Next() % 10 == 0) {
         co_await db.Abort(txn);
         continue;
       }
-      if (prepares_left > 0 && rng() % 4 == 0) {
+      if (prepares_left > 0 && rng.Next() % 4 == 0) {
         --prepares_left;
         // Left in doubt on purpose: pins the replay point far back, which
         // is exactly the state the fuzzy per-slice horizons pay off in.
-        co_await db.Prepare(txn, /*global_id=*/1000 + rng() % 1000);
+        co_await db.Prepare(txn, /*global_id=*/1000 + rng.Next() % 1000);
         continue;
       }
       co_await db.Commit(txn);
-      if (rng() % 25 == 0) {
+      if (rng.Next() % 25 == 0) {
         co_await db.Checkpoint();
       }
-      co_await sim.Sleep(Duration::Micros(rng() % 200));
+      co_await sim.Sleep(Duration::Micros(rng.Next() % 200));
     }
   } catch (const EngineHalted&) {
   }

@@ -1,0 +1,26 @@
+// Seeded RC101: the redo switch in database.cc misses kDelete and has no
+// default.
+#pragma once
+
+#include <cstdint>
+
+namespace rldb {
+
+enum class LogRecordType : uint8_t {
+  kUpdate = 1,
+  kDelete = 2,
+  kCommit = 3,
+};
+
+struct LogRecord {
+  LogRecordType type = LogRecordType::kUpdate;
+  uint64_t key = 0;
+};
+
+class Wal {
+ public:
+  uint64_t Append(LogRecord rec);
+  void WaitDurable(uint64_t lsn);
+};
+
+}  // namespace rldb

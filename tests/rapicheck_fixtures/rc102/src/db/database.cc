@@ -1,0 +1,38 @@
+#include "src/db/wal.h"
+
+namespace rldb {
+
+class Database {
+ public:
+  void Apply(const LogRecord& rec) {
+    switch (rec.type) {
+      case LogRecordType::kUpdate:
+        applied_++;
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Update(uint64_t key) {
+    LogRecord rec;
+    rec.type = LogRecordType::kUpdate;
+    rec.key = key;
+    const uint64_t lsn = wal_.Append(rec);
+    wal_.WaitDurable(lsn);
+  }
+
+  void MarkReserved(uint64_t key) {
+    LogRecord rec;
+    rec.type = LogRecordType::kReserved;
+    rec.key = key;
+    const uint64_t lsn = wal_.Append(rec);
+    wal_.WaitDurable(lsn);
+  }
+
+ private:
+  Wal wal_;
+  uint64_t applied_ = 0;
+};
+
+}  // namespace rldb

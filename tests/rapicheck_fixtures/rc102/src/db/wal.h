@@ -1,0 +1,25 @@
+// Seeded RC102: kReserved is produced (database.cc) but never consumed —
+// no case label or comparison ever reads it.
+#pragma once
+
+#include <cstdint>
+
+namespace rldb {
+
+enum class LogRecordType : uint8_t {
+  kUpdate = 1,
+  kReserved = 2,
+};
+
+struct LogRecord {
+  LogRecordType type = LogRecordType::kUpdate;
+  uint64_t key = 0;
+};
+
+class Wal {
+ public:
+  uint64_t Append(LogRecord rec);
+  void WaitDurable(uint64_t lsn);
+};
+
+}  // namespace rldb

@@ -1,0 +1,25 @@
+// Seeded RC103: kCommit has no explicit value, so inserting a kind above
+// it would silently renumber the on-disk format.
+#pragma once
+
+#include <cstdint>
+
+namespace rldb {
+
+enum class LogRecordType : uint8_t {
+  kUpdate = 1,
+  kCommit,
+};
+
+struct LogRecord {
+  LogRecordType type = LogRecordType::kUpdate;
+  uint64_t key = 0;
+};
+
+class Wal {
+ public:
+  uint64_t Append(LogRecord rec);
+  void WaitDurable(uint64_t lsn);
+};
+
+}  // namespace rldb

@@ -1,0 +1,49 @@
+// Seeded RC104: the redo path partitions by kRedoSlices in one place but
+// open-codes 64 in another — the two can drift apart.
+#include "src/db/wal.h"
+
+namespace rldb {
+
+class Database {
+ public:
+  void Apply(const LogRecord& rec) {
+    switch (rec.type) {
+      case LogRecordType::kUpdate:
+        slice_counts_[rec.key % kRedoSlices]++;
+        break;
+      case LogRecordType::kCommit:
+        committed_++;
+        break;
+    }
+  }
+
+  void ResetSlices() {
+    for (int i = 0; i < 64; ++i) {
+      slice_counts_[i] = 0;
+    }
+  }
+
+  uint64_t Commit(uint64_t key) {
+    LogRecord rec;
+    rec.type = LogRecordType::kCommit;
+    rec.key = key;
+    const uint64_t lsn = wal_.Append(rec);
+    wal_.WaitDurable(lsn);
+    return lsn;
+  }
+
+  void Update(uint64_t key) {
+    LogRecord rec;
+    rec.type = LogRecordType::kUpdate;
+    rec.key = key;
+    const uint64_t lsn = wal_.Append(rec);
+    wal_.WaitDurable(lsn);
+  }
+
+ private:
+  Wal wal_;
+  uint64_t slice_counts_[kRedoSlices] = {};
+  uint64_t committed_ = 0;
+};
+
+}  // namespace rldb

@@ -1,0 +1,31 @@
+#include "src/shard/wire.h"
+
+namespace rlshard {
+
+class ShardNode {
+ public:
+  void Receive(const WireMessage& msg) {
+    switch (msg.type) {
+      case MsgType::kPrepareReq:
+        HandlePrepare(msg);
+        break;
+      case MsgType::kVote:
+        unexpected_++;
+        break;
+    }
+  }
+
+ private:
+  void HandlePrepare(const WireMessage& msg) {
+    WireMessage vote;
+    vote.type = MsgType::kVote;
+    vote.global_id = msg.global_id;
+    Send(vote);
+  }
+
+  void Send(const WireMessage& msg);
+
+  uint64_t unexpected_ = 0;
+};
+
+}  // namespace rlshard

@@ -1,0 +1,26 @@
+// Seeded RC201: QueryAnswer's dispatch switch lives in txn_coordinator.cc,
+// but the contract registers src/shard/shard_node.cc as its handler — the
+// kinds have no case label where the protocol says they must be handled.
+#pragma once
+
+#include <cstdint>
+
+namespace rlshard {
+
+enum class MsgType : uint8_t {
+  kPrepareReq = 1,
+  kVote = 2,
+};
+
+enum class QueryAnswer : uint8_t {
+  kAbort = 0,
+  kCommit = 1,
+};
+
+struct WireMessage {
+  MsgType type = MsgType::kPrepareReq;
+  uint64_t global_id = 0;
+  uint8_t flag = 0;
+};
+
+}  // namespace rlshard

@@ -1,0 +1,31 @@
+// Seeded RC202: the endpoint's dispatch swallows unlisted protocol kinds
+// in a `default:` — a new MsgType would be ignored instead of failing
+// closed.
+#include "src/shard/wire.h"
+
+namespace rlshard {
+
+class ShardNode {
+ public:
+  void Receive(const WireMessage& msg) {
+    switch (msg.type) {
+      case MsgType::kPrepareReq:
+        HandlePrepare(msg);
+        break;
+      default:
+        break;
+    }
+  }
+
+ private:
+  void HandlePrepare(const WireMessage& msg) {
+    WireMessage vote;
+    vote.type = MsgType::kVote;
+    vote.global_id = msg.global_id;
+    Send(vote);
+  }
+
+  void Send(const WireMessage& msg);
+};
+
+}  // namespace rlshard

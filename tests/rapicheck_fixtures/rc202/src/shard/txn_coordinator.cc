@@ -1,0 +1,32 @@
+#include "src/shard/wire.h"
+
+namespace rlshard {
+
+class TxnCoordinator {
+ public:
+  void Begin(uint64_t global_id) {
+    WireMessage req;
+    req.type = MsgType::kPrepareReq;
+    req.global_id = global_id;
+    Send(req);
+  }
+
+  void Receive(const WireMessage& msg) {
+    switch (msg.type) {
+      case MsgType::kVote:
+        votes_++;
+        break;
+      case MsgType::kPrepareReq:
+        unexpected_++;
+        break;
+    }
+  }
+
+ private:
+  void Send(const WireMessage& msg);
+
+  uint64_t votes_ = 0;
+  uint64_t unexpected_ = 0;
+};
+
+}  // namespace rlshard

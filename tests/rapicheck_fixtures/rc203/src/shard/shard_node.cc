@@ -1,0 +1,39 @@
+// Seeded RC203: the prepare handler acknowledges receipt internally but
+// never constructs the kVote reply — the coordinator would wait forever.
+#include "src/shard/wire.h"
+
+namespace rlshard {
+
+class ShardNode {
+ public:
+  void Receive(const WireMessage& msg) {
+    switch (msg.type) {
+      case MsgType::kPrepareReq:
+        HandlePrepare(msg);
+        break;
+      case MsgType::kVote:
+        unexpected_++;
+        break;
+    }
+  }
+
+ private:
+  void HandlePrepare(const WireMessage& msg) {
+    prepared_ = msg.global_id;
+  }
+
+  // Produces the reply kind, but nothing on the Receive path ever calls it.
+  void NudgeVote(uint64_t global_id) {
+    WireMessage vote;
+    vote.type = MsgType::kVote;
+    vote.global_id = global_id;
+    Send(vote);
+  }
+
+  void Send(const WireMessage& msg);
+
+  uint64_t prepared_ = 0;
+  uint64_t unexpected_ = 0;
+};
+
+}  // namespace rlshard

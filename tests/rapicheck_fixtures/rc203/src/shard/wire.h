@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstdint>
+
+namespace rlshard {
+
+enum class MsgType : uint8_t {
+  kPrepareReq = 1,
+  kVote = 2,
+};
+
+struct WireMessage {
+  MsgType type = MsgType::kPrepareReq;
+  uint64_t global_id = 0;
+};
+
+}  // namespace rlshard

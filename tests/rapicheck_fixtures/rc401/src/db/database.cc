@@ -1,0 +1,33 @@
+// Seeded RC401: Checkpoint takes checkpoint_mutex_ then apply_mutex_;
+// Apply takes them in the opposite order — a classic ABBA deadlock.
+#include <cstdint>
+
+namespace rldb {
+
+class Mutex {
+ public:
+  int Lock();
+};
+
+class Database {
+ public:
+  void Checkpoint() {
+    auto a = checkpoint_mutex_->Lock();
+    auto b = apply_mutex_->Lock();
+    FlushPages();
+  }
+
+  void Apply() {
+    auto a = apply_mutex_->Lock();
+    auto b = checkpoint_mutex_->Lock();
+    FlushPages();
+  }
+
+ private:
+  void FlushPages();
+
+  Mutex* checkpoint_mutex_ = nullptr;
+  Mutex* apply_mutex_ = nullptr;
+};
+
+}  // namespace rldb

@@ -276,6 +276,70 @@ TEST(TwoPcTest, InDoubtParticipantSurvivesOwnCrashAndResolves) {
   }
 }
 
+// --- Explicit dispatch (regression for rapicheck RC202/RC102) -----------------
+// The endpoint switches enumerate every MsgType explicitly: kinds addressed
+// to the other role land in an unexpected_msgs counter instead of a silent
+// `default:`, and QueryAnswer::kAbort is consumed by name in the shard's
+// resolution path rather than falling out of an if-chain.
+
+TEST(DispatchTest, CleanRunRoutesEveryMessageExplicitly) {
+  Simulator sim;
+  FleetTestbed fleet(sim, SmallFleet(2));
+  const uint64_t k0 = 60, k1 = (1 << 19) + 60;
+  TxnOutcome outcome = TxnOutcome::kUnknown;
+  sim.Spawn([](Simulator&, FleetTestbed& f, uint64_t a, uint64_t b,
+               TxnOutcome& out) -> Task<void> {
+    co_await f.Start();
+    std::vector<ShardOps> parts;
+    parts.push_back(ShardOps{.shard = 0, .ops = {Op(a)}});
+    parts.push_back(ShardOps{.shard = 1, .ops = {Op(b)}});
+    out = co_await f.coordinator().Execute(7, std::move(parts));
+    EXPECT_TRUE(co_await f.ResolveAllInDoubt(Duration::Seconds(5)));
+    co_await f.Shutdown();
+  }(sim, fleet, k0, k1, outcome));
+  sim.Run();
+  EXPECT_EQ(outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(fleet.coordinator().stats().unexpected_msgs.value(), 0);
+  for (size_t i = 0; i < fleet.shard_count(); ++i) {
+    EXPECT_EQ(fleet.node(i).stats().unexpected_msgs.value(), 0);
+  }
+}
+
+TEST(DispatchTest, PresumedAbortAnswerResolvesPreparedShard) {
+  Simulator sim;
+  FleetTestbed fleet(sim, SmallFleet(2));
+  const uint64_t k0 = 61, k1 = (1 << 19) + 61;
+  TxnOutcome outcome = TxnOutcome::kAborted;
+  bool has0 = true, resolved = false;
+  sim.Spawn([](Simulator& s, FleetTestbed& f, uint64_t a, uint64_t b,
+               TxnOutcome& out, bool& ha, bool& res) -> Task<void> {
+    co_await f.Start();
+    // Shard 1 never sees its prepare, and the coordinator dies well before
+    // the 400ms vote timeout — after shard 0 has prepared, before any
+    // decision exists or can be pushed. The recovered coordinator has no
+    // pending state and nothing in the decision log, so shard 0 must learn
+    // the outcome through a query answered QueryAnswer::kAbort.
+    f.PartitionShard(1);
+    std::vector<ShardOps> parts;
+    parts.push_back(ShardOps{.shard = 0, .ops = {Op(a)}});
+    parts.push_back(ShardOps{.shard = 1, .ops = {Op(b)}});
+    s.Schedule(Duration::Millis(30), [&f] { f.KillCoordinator(); });
+    out = co_await f.coordinator().Execute(8, std::move(parts));
+    co_await s.Sleep(Duration::Millis(50));
+    co_await f.RecoverCoordinator();
+    f.HealShard(1);
+    res = co_await f.ResolveAllInDoubt(Duration::Seconds(10));
+    ha = co_await HasKey(f, a);
+    co_await f.Shutdown();
+  }(sim, fleet, k0, k1, outcome, has0, resolved));
+  sim.Run();
+  EXPECT_EQ(outcome, TxnOutcome::kUnknown);
+  EXPECT_TRUE(resolved);
+  EXPECT_FALSE(has0);
+  EXPECT_GE(fleet.node(0).stats().resolved_by_query.value(), 1);
+  EXPECT_EQ(fleet.node(0).stats().unexpected_msgs.value(), 0);
+}
+
 // --- Stats registry: many testbeds, one process -------------------------------
 
 TEST(FleetStatsTest, TwoReplicatedTestbedsShareOneRegistry) {

@@ -401,10 +401,65 @@ TEST(SimlintOutput, GithubAnnotationsNameTheFile) {
       << gh;
 }
 
-TEST(SimlintRules, TableListsAllSevenRules) {
-  ASSERT_EQ(simlint::Rules().size(), 7u);
+// --- SL008 wire/persistent byte punning -----------------------------------
+
+TEST(SimlintSL008, ReinterpretCastInWireDirFires) {
+  ExpectOnly(LintSource("src/db/wal.cc",
+                        "void F(uint64_t k, uint8_t* out) {\n"
+                        "  auto* p = reinterpret_cast<const uint8_t*>(&k);\n"
+                        "  out[0] = p[0];\n"
+                        "}\n"),
+             "SL008", 2);
+}
+
+TEST(SimlintSL008, MemcpyThroughObjectAddressFires) {
+  ExpectOnly(LintSource("src/shard/decision_log.cc",
+                        "void F(uint64_t v, uint8_t* out) {\n"
+                        "  memcpy(out, &v, sizeof(v));\n"
+                        "}\n"),
+             "SL008", 2);
+}
+
+TEST(SimlintSL008, ByteSpanMemcpyIsFine) {
+  // memcpy between byte buffers (no & in the arguments) is representation
+  // free and allowed.
+  ExpectClean(LintSource("src/db/btree.cc",
+                         "void F(uint8_t* dst, const uint8_t* src) {\n"
+                         "  memcpy(dst, src, 16);\n"
+                         "}\n"));
+}
+
+TEST(SimlintSL008, SanctionedCodecFilesAreExempt) {
+  const char* body =
+      "void F(uint64_t v, uint8_t* out) {\n"
+      "  memcpy(out, &v, sizeof(v));\n"
+      "}\n";
+  ExpectClean(LintSource("src/db/layout.h", body));
+  ExpectClean(LintSource("src/shard/wire.cc", body));
+  ExpectClean(LintSource("src/shard/wire.h", body));
+}
+
+TEST(SimlintSL008, OutsideWireDirsNotFlagged) {
+  ExpectClean(LintSource("src/sim/crc32.cc",
+                         "void F(uint64_t v, uint8_t* out) {\n"
+                         "  memcpy(out, &v, sizeof(v));\n"
+                         "}\n"));
+}
+
+TEST(SimlintSL008, WireOkPragmaSuppresses) {
+  ExpectClean(LintSource(
+      "src/db/layout2.cc",
+      "void F(uint64_t v, uint8_t* out) {\n"
+      "  // simlint: wire-ok (fixed-width scratch, never persisted)\n"
+      "  memcpy(out, &v, sizeof(v));\n"
+      "}\n"));
+}
+
+TEST(SimlintRules, TableListsAllEightRules) {
+  ASSERT_EQ(simlint::Rules().size(), 8u);
   EXPECT_STREQ(simlint::Rules()[0].id, "SL001");
   EXPECT_STREQ(simlint::Rules()[6].id, "SL007");
+  EXPECT_STREQ(simlint::Rules()[7].id, "SL008");
 }
 
 }  // namespace

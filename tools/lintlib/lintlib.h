@@ -1,0 +1,126 @@
+// lintlib: the scanning + reporting core shared by this repo's static
+// checkers (tools/simlint, tools/rapicheck).
+//
+// Each checker owns its rules; what they share is everything around the
+// rules: the lexical strip pass that blanks comments and literal contents
+// (so rules never fire on prose or fixture snippets), pragma harvesting,
+// CRC-keyed baselines robust to line drift, the deterministic file walk,
+// and the text/JSON/GitHub-annotation output formats. Keeping that here
+// means a new checker is only its model + rule table.
+//
+// Tool identity is threaded through explicitly: StripSource takes the
+// pragma marker ("simlint:" / "rapicheck:"), baselines and GitHub output
+// take the tool name, so each checker's artifacts stay self-describing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lintlib {
+
+struct Finding {
+  std::string rule;      // "SL003", "RC201"
+  std::string severity;  // "error" | "warning"
+  std::string file;
+  int line = 0;  // 1-based
+  std::string message;
+  std::string hint;        // fix-it suggestion
+  uint32_t crc = 0;        // CRC32 of the normalized source line
+  std::string normalized;  // whitespace-collapsed, comment/string-stripped
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* name;
+  const char* severity;
+  const char* summary;
+};
+
+// A source file after lexical preprocessing. `code[i]` is line i with
+// comments and string/char literal *contents* blanked (quotes preserved).
+// `pragmas[i]` holds the `<marker> tag1 tag2` tags found on line i.
+struct SourceFile {
+  std::string path;
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+  std::vector<std::vector<std::string>> pragmas;
+};
+
+// `pragma_marker` is the comment prefix that introduces suppression tags,
+// e.g. "simlint:". Tags stop at a parenthesized justification.
+SourceFile StripSource(std::string path, std::string_view contents,
+                       std::string_view pragma_marker);
+
+// CRC32 (Castagnoli, via src/sim/crc32) of the whitespace-normalized line.
+uint32_t NormalizedCrc(std::string_view stripped_line,
+                       std::string* normalized_out = nullptr);
+
+// True if a pragma with `tag` suppresses a finding on `line` (1-based):
+// same line, or reachable by walking up through the contiguous block of
+// comment-only lines directly above it.
+bool PragmaSuppressed(const SourceFile& file, int line, std::string_view tag);
+
+// --- Shared text helpers ---------------------------------------------------
+
+bool IsIdentChar(char c);
+// True if `text[pos..]` starts with `word` at identifier boundaries.
+bool WordAt(std::string_view text, size_t pos, std::string_view word);
+// First boundary occurrence of `word` in `text`, or npos.
+size_t FindWord(std::string_view text, std::string_view word, size_t from = 0);
+// True if `path` starts with directory prefix `dir` ("src/sim" matches
+// "src/sim/foo.h" and "src/sim" itself, not "src/simx.h"). "./" accepted.
+bool UnderDir(std::string_view path, std::string_view dir);
+// True if `dir` appears as a directory run anywhere in `path`: lets rules
+// scoped to "src/shard" also apply inside fixture trees like
+// "tests/rapicheck_fixtures/rc201/src/shard/node.cc".
+bool ContainsDir(std::string_view path, std::string_view dir);
+// One past the matching '>' for the '<' at text[pos], or npos.
+size_t SkipAngles(std::string_view text, size_t pos);
+std::string_view TrimView(std::string_view s);
+// Final identifier of an expression like "table_", "this->cache_".
+std::string_view TailIdentifier(std::string_view expr);
+
+// --- Baseline -------------------------------------------------------------
+
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  uint32_t crc = 0;
+  int count = 0;  // findings sharing this (rule, file, crc) key
+};
+
+// Deterministic text form (sorted by rule, file, crc). Parse(Serialize(x))
+// then Serialize again is byte-identical. `tool` names the checker in the
+// header comment ("simlint", "rapicheck").
+std::string SerializeBaseline(const std::vector<Finding>& findings,
+                              std::string_view tool);
+std::string SerializeBaseline(const std::vector<BaselineEntry>& entries,
+                              std::string_view tool);
+bool ParseBaseline(std::string_view text, std::vector<BaselineEntry>* out,
+                   std::string* error);
+// Removes findings covered by the baseline (each entry suppresses up to
+// `count` findings with the same key). Leftover findings are "new".
+std::vector<Finding> ApplyBaseline(std::vector<Finding> findings,
+                                   const std::vector<BaselineEntry>& baseline);
+
+// --- Output ---------------------------------------------------------------
+
+std::string FormatText(const std::vector<Finding>& findings);
+std::string FormatJson(const std::vector<Finding>& findings);
+// GitHub Actions workflow-command annotations (::error file=...); `tool`
+// prefixes the annotation title ("simlint SL003").
+std::string FormatGithub(const std::vector<Finding>& findings,
+                         std::string_view tool);
+
+// --- File discovery -------------------------------------------------------
+
+// Deterministic file discovery: recursive *.h/*.cc/*.cpp/*.hpp walk,
+// lexicographically sorted, `build` and dot-directories skipped. On error
+// sets *error and returns empty.
+std::vector<std::string> CollectFiles(const std::vector<std::string>& paths,
+                                      std::string* error);
+bool ReadFile(const std::string& path, std::string* out);
+
+}  // namespace lintlib

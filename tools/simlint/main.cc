@@ -10,75 +10,16 @@
 //   --list-rules        print the rule table and exit
 //
 // Exit status: 0 clean (after baseline), 1 findings, 2 usage/IO error.
-#include <algorithm>
 #include <cstdio>
-#include <cstring>
-#include <filesystem>
-#include <iterator>
 #include <fstream>
-#include <sstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
 #include "tools/simlint/simlint.h"
 
-namespace {
-
-namespace fs = std::filesystem;
-
-bool IsSourceFile(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
-}
-
-// Deterministic file discovery: lexicographically sorted, build trees
-// skipped. Output order (and therefore baseline content) must not depend on
-// readdir order.
-std::vector<std::string> CollectFiles(const std::vector<std::string>& paths,
-                                      std::string* error) {
-  std::vector<std::string> files;
-  for (const std::string& path : paths) {
-    std::error_code ec;
-    if (fs::is_directory(path, ec)) {
-      for (fs::recursive_directory_iterator it(path, ec), end;
-           it != end && !ec; it.increment(ec)) {
-        const fs::path& p = it->path();
-        const std::string name = p.filename().string();
-        if (it->is_directory() &&
-            (name == "build" || name.substr(0, 1) == ".")) {
-          it.disable_recursion_pending();
-          continue;
-        }
-        if (it->is_regular_file() && IsSourceFile(p)) {
-          files.push_back(p.generic_string());
-        }
-      }
-      if (ec) {
-        *error = "cannot walk " + path + ": " + ec.message();
-        return {};
-      }
-    } else if (fs::is_regular_file(path, ec)) {
-      files.push_back(fs::path(path).generic_string());
-    } else {
-      *error = "no such file or directory: " + path;
-      return {};
-    }
-  }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
-  return files;
-}
-
-bool ReadFile(const std::string& path, std::string* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::stringstream buf;
-  buf << in.rdbuf();
-  *out = buf.str();
-  return true;
-}
-
-}  // namespace
+using lintlib::CollectFiles;
+using lintlib::ReadFile;
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;

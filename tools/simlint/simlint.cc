@@ -2,48 +2,18 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cstdio>
 #include <set>
-
-#include "src/sim/crc32.h"
 
 namespace simlint {
 
 namespace {
 
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-// True if `text[pos..]` starts with `word` at an identifier boundary on both
-// sides.
-bool WordAt(std::string_view text, size_t pos, std::string_view word) {
-  if (pos + word.size() > text.size()) return false;
-  if (text.substr(pos, word.size()) != word) return false;
-  if (pos > 0 && IsIdentChar(text[pos - 1])) return false;
-  const size_t end = pos + word.size();
-  if (end < text.size() && IsIdentChar(text[end])) return false;
-  return true;
-}
-
-// First boundary occurrence of `word` in `text`, or npos.
-size_t FindWord(std::string_view text, std::string_view word,
-                size_t from = 0) {
-  for (size_t pos = text.find(word, from); pos != std::string_view::npos;
-       pos = text.find(word, pos + 1)) {
-    if (WordAt(text, pos, word)) return pos;
-  }
-  return std::string_view::npos;
-}
-
-// True if `path` starts with the directory prefix `dir` ("src/sim" matches
-// "src/sim/foo.h" and "src/sim" itself, not "src/simx.h").
-bool UnderDir(std::string_view path, std::string_view dir) {
-  // Accept both "src/sim/..." and "./src/sim/...".
-  if (path.substr(0, 2) == "./") path.remove_prefix(2);
-  if (path.substr(0, dir.size()) != dir) return false;
-  return path.size() == dir.size() || path[dir.size()] == '/';
-}
+using lintlib::FindWord;
+using lintlib::IsIdentChar;
+using lintlib::SkipAngles;
+using lintlib::TailIdentifier;
+using lintlib::TrimView;
+using lintlib::UnderDir;
 
 bool InSrc(std::string_view path) { return UnderDir(path, "src"); }
 bool InBench(std::string_view path) { return UnderDir(path, "bench"); }
@@ -75,44 +45,29 @@ bool InThreadBanScope(std::string_view path) {
   return InSrc(path);
 }
 
+// SL008 scope: the directories that own persistent or wire byte formats.
+// Inside them, type punning (reinterpret_cast, memcpy through &object)
+// silently bakes host endianness and padding into bytes that are supposed
+// to be a stable format. The sanctioned codecs — layout.h's
+// LoadScalar/StoreScalar and the shard wire Reader/PutU* — are the only
+// places allowed to touch object representations.
+bool InWirePunScope(std::string_view path) {
+  return UnderDir(path, "src/db") || UnderDir(path, "src/shard") ||
+         UnderDir(path, "src/replica") || UnderDir(path, "src/storage") ||
+         UnderDir(path, "src/rapilog");
+}
+
+bool InWirePunAllowlist(std::string_view path) {
+  if (path.substr(0, 2) == "./") path.remove_prefix(2);
+  return path == "src/db/layout.h" || path == "src/shard/wire.h" ||
+         path == "src/shard/wire.cc";
+}
+
 const char* SeverityFor(std::string_view rule) {
   for (const RuleInfo& r : Rules()) {
     if (rule == r.id) return r.severity;
   }
   return "error";
-}
-
-// Skip over a balanced <...> starting at text[pos] == '<'. Returns the index
-// one past the matching '>', or npos if unbalanced on this line.
-size_t SkipAngles(std::string_view text, size_t pos) {
-  int depth = 0;
-  for (size_t i = pos; i < text.size(); ++i) {
-    if (text[i] == '<') ++depth;
-    if (text[i] == '>') {
-      --depth;
-      if (depth == 0) return i + 1;
-    }
-  }
-  return std::string_view::npos;
-}
-
-std::string_view TrimView(std::string_view s) {
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
-    s.remove_prefix(1);
-  }
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
-    s.remove_suffix(1);
-  }
-  return s;
-}
-
-// Final identifier of an expression like "table_", "state.pending_",
-// "this->cache_". Empty if the expression does not end in an identifier.
-std::string_view TailIdentifier(std::string_view expr) {
-  expr = TrimView(expr);
-  size_t end = expr.size();
-  while (end > 0 && IsIdentChar(expr[end - 1])) --end;
-  return expr.substr(end);
 }
 
 struct PendingFinding {
@@ -140,6 +95,7 @@ class Linter {
       CheckRawNewDelete(line, ln);
       CheckFloatAccumulation(line, ln);
       CheckThreadPrimitives(line, ln);
+      CheckWireBytePunning(line, ln);
     }
     return Resolve();
   }
@@ -433,6 +389,39 @@ class Linter {
     }
   }
 
+  // SL008: type punning on persistent/wire bytes. A reinterpret_cast, or a
+  // memcpy whose source/destination is an object address (`&x`), reads or
+  // writes an in-memory object *representation* — host endianness, padding
+  // and all — where a stable byte format is expected. Byte-span copies
+  // (`memcpy(dst, buf.data(), n)`) stay legal: bytes to bytes is
+  // representation-free. The two sanctioned codecs (src/db/layout.h's
+  // LoadScalar/StoreScalar, the src/shard wire Reader/PutU*) are exempt;
+  // everything else routes through them or carries a `wire-ok` pragma.
+  void CheckWireBytePunning(const std::string& line, int ln) {
+    if (!InWirePunScope(file_.path) || InWirePunAllowlist(file_.path)) return;
+    if (FindWord(line, "reinterpret_cast") != std::string_view::npos) {
+      Report("SL008", "wire-ok", ln,
+             "reinterpret_cast in a persistent/wire-format directory bakes "
+             "the host's object representation into the byte format",
+             "serialize through layout.h LoadScalar/StoreScalar or the wire "
+             "codec; for genuinely representation-free uses add "
+             "`// simlint: wire-ok (<why>)`");
+    }
+    size_t pos = FindWord(line, "memcpy");
+    while (pos != std::string_view::npos) {
+      const size_t open = line.find('(', pos);
+      if (open != std::string_view::npos &&
+          line.find('&', open) != std::string_view::npos) {
+        Report("SL008", "wire-ok", ln,
+               "memcpy through an object address (&x) in a persistent/"
+               "wire-format directory copies host endianness and padding",
+               "encode field-by-field via layout.h LoadScalar/StoreScalar "
+               "or the wire codec's PutU16/32/64 helpers");
+      }
+      pos = FindWord(line, "memcpy", pos + 1);
+    }
+  }
+
   // Per-file declaration scan feeding SL003 (any unordered name declared in
   // this file, locals included) and SL006 (float/double variables).
   void CollectLocalDeclarations() {
@@ -487,7 +476,7 @@ class Linter {
   std::vector<Finding> Resolve() {
     std::vector<Finding> out;
     for (const PendingFinding& p : pending_) {
-      if (Suppressed(p.line, p.tag)) continue;
+      if (lintlib::PragmaSuppressed(file_, p.line, p.tag)) continue;
       Finding f;
       f.rule = p.rule;
       f.severity = SeverityFor(p.rule);
@@ -503,26 +492,6 @@ class Linter {
       return a.rule < b.rule;
     });
     return out;
-  }
-
-  // A pragma suppresses findings on its own line and on the first code line
-  // below it: the check walks upward from the finding through the contiguous
-  // comment-only block, so a multi-line justification comment works.
-  bool Suppressed(int line, std::string_view tag) const {
-    for (int ln = line; ln >= 1; --ln) {
-      if (ln <= static_cast<int>(file_.pragmas.size())) {
-        for (const std::string& t : file_.pragmas[ln - 1]) {
-          if (t == tag) return true;
-        }
-      }
-      if (ln == line) continue;  // always step to the line above the finding
-      // Keep walking only while the line is comment-only (stripped code is
-      // blank but the raw line is not).
-      const std::string_view code = TrimView(file_.code[ln - 1]);
-      const std::string_view raw = TrimView(file_.raw[ln - 1]);
-      if (!code.empty() || raw.empty()) break;
-    }
-    return false;
   }
 
   const SourceFile& file_;
@@ -553,125 +522,11 @@ const std::vector<RuleInfo>& Rules() {
       {"SL007", "thread-primitives", "error",
        "std::thread/async/mutex (and friends) in src/ outside "
        "src/harness/parallel_runner"},
+      {"SL008", "wire-byte-punning", "error",
+       "reinterpret_cast or memcpy-through-&object in persistent/wire "
+       "format directories outside the sanctioned codecs"},
   };
   return kRules;
-}
-
-SourceFile StripSource(std::string path, std::string_view contents) {
-  SourceFile out;
-  out.path = std::move(path);
-
-  // Split into raw lines first (keeps \r out of the code view).
-  size_t start = 0;
-  while (start <= contents.size()) {
-    size_t nl = contents.find('\n', start);
-    if (nl == std::string_view::npos) {
-      if (start < contents.size()) {
-        out.raw.emplace_back(contents.substr(start));
-      }
-      break;
-    }
-    std::string_view line = contents.substr(start, nl - start);
-    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-    out.raw.emplace_back(line);
-    start = nl + 1;
-  }
-
-  // Lexical pass: blank comment and literal contents, carrying block-comment
-  // state across lines. Pragmas are harvested from comment text.
-  bool in_block_comment = false;
-  for (const std::string& rawline : out.raw) {
-    std::string code;
-    code.reserve(rawline.size());
-    std::vector<std::string> tags;
-    std::string comment_text;
-    for (size_t i = 0; i < rawline.size();) {
-      const char c = rawline[i];
-      if (in_block_comment) {
-        if (c == '*' && i + 1 < rawline.size() && rawline[i + 1] == '/') {
-          in_block_comment = false;
-          i += 2;
-        } else {
-          comment_text.push_back(c);
-          ++i;
-        }
-        continue;
-      }
-      if (c == '/' && i + 1 < rawline.size() && rawline[i + 1] == '/') {
-        comment_text.append(rawline.substr(i + 2));
-        break;  // rest of line is comment
-      }
-      if (c == '/' && i + 1 < rawline.size() && rawline[i + 1] == '*') {
-        in_block_comment = true;
-        i += 2;
-        continue;
-      }
-      if (c == 'R' && i + 1 < rawline.size() && rawline[i + 1] == '"') {
-        // Raw string literal: skip to the closing )delim" — for the common
-        // single-line case; multi-line raw strings blank to end of line and
-        // the next lines are handled as code (acceptable for this repo).
-        const size_t open_paren = rawline.find('(', i + 2);
-        if (open_paren != std::string::npos) {
-          const std::string delim =
-              ")" + rawline.substr(i + 2, open_paren - (i + 2)) + "\"";
-          const size_t close = rawline.find(delim, open_paren);
-          code.append("\"\"");
-          if (close != std::string::npos) {
-            i = close + delim.size();
-          } else {
-            i = rawline.size();
-          }
-          continue;
-        }
-      }
-      if (c == '"' || c == '\'') {
-        const char quote = c;
-        code.push_back(quote);
-        ++i;
-        while (i < rawline.size()) {
-          if (rawline[i] == '\\') {
-            i += 2;
-            continue;
-          }
-          if (rawline[i] == quote) {
-            ++i;
-            break;
-          }
-          ++i;
-        }
-        code.push_back(quote);
-        continue;
-      }
-      code.push_back(c);
-      ++i;
-    }
-    // Harvest `simlint: tag1 tag2` from the comment text.
-    const size_t mark = comment_text.find("simlint:");
-    if (mark != std::string::npos) {
-      size_t p = mark + 8;
-      while (p < comment_text.size()) {
-        while (p < comment_text.size() &&
-               (comment_text[p] == ' ' || comment_text[p] == ',')) {
-          ++p;
-        }
-        size_t end = p;
-        while (end < comment_text.size() &&
-               (std::isalnum(static_cast<unsigned char>(comment_text[end])) !=
-                    0 ||
-                comment_text[end] == '-')) {
-          ++end;
-        }
-        if (end == p) break;
-        tags.push_back(comment_text.substr(p, end - p));
-        p = end;
-        // Tags stop at the parenthesized justification.
-        if (p < comment_text.size() && comment_text[p] == '(') break;
-      }
-    }
-    out.code.push_back(std::move(code));
-    out.pragmas.push_back(std::move(tags));
-  }
-  return out;
 }
 
 void ProjectIndex::AddFile(const SourceFile& file) {
@@ -714,196 +569,6 @@ std::vector<Finding> LintSource(std::string path, std::string_view contents) {
   ProjectIndex index;
   index.AddFile(file);
   return LintFile(file, index);
-}
-
-uint32_t NormalizedCrc(std::string_view stripped_line,
-                       std::string* normalized_out) {
-  std::string norm;
-  norm.reserve(stripped_line.size());
-  bool pending_space = false;
-  for (char c : stripped_line) {
-    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-      pending_space = !norm.empty();
-      continue;
-    }
-    if (pending_space) {
-      norm.push_back(' ');
-      pending_space = false;
-    }
-    norm.push_back(c);
-  }
-  const uint32_t crc = rlsim::Crc32c(
-      {reinterpret_cast<const uint8_t*>(norm.data()), norm.size()});
-  if (normalized_out != nullptr) *normalized_out = std::move(norm);
-  return crc;
-}
-
-// --- Baseline -------------------------------------------------------------
-
-namespace {
-
-std::string BaselineKey(std::string_view rule, std::string_view file,
-                        uint32_t crc) {
-  char key[512];
-  std::snprintf(key, sizeof(key), "%.*s %.*s %08x",
-                static_cast<int>(rule.size()), rule.data(),
-                static_cast<int>(file.size()), file.data(), crc);
-  return key;
-}
-
-std::string SerializeCounts(const std::map<std::string, int>& counts) {
-  std::string out =
-      "# simlint baseline v1: rule path line-crc count\n"
-      "# Regenerate with: simlint --write-baseline <this file> <paths>\n";
-  for (const auto& [key, count] : counts) {
-    out += key;
-    out += ' ';
-    out += std::to_string(count);
-    out += '\n';
-  }
-  return out;
-}
-
-}  // namespace
-
-std::string SerializeBaseline(const std::vector<Finding>& findings) {
-  std::map<std::string, int> counts;
-  for (const Finding& f : findings) {
-    ++counts[BaselineKey(f.rule, f.file, f.crc)];
-  }
-  return SerializeCounts(counts);
-}
-
-std::string SerializeBaseline(const std::vector<BaselineEntry>& entries) {
-  std::map<std::string, int> counts;
-  for (const BaselineEntry& e : entries) {
-    counts[BaselineKey(e.rule, e.file, e.crc)] += e.count;
-  }
-  return SerializeCounts(counts);
-}
-
-bool ParseBaseline(std::string_view text, std::vector<BaselineEntry>* out,
-                   std::string* error) {
-  out->clear();
-  int lineno = 0;
-  size_t start = 0;
-  while (start < text.size()) {
-    size_t nl = text.find('\n', start);
-    if (nl == std::string_view::npos) nl = text.size();
-    const std::string line(TrimView(text.substr(start, nl - start)));
-    start = nl + 1;
-    ++lineno;
-    if (line.empty() || line[0] == '#') continue;
-    BaselineEntry e;
-    char rule[32], path[400];
-    unsigned crc = 0;
-    if (std::sscanf(line.c_str(), "%31s %399s %8x %d", rule, path, &crc,
-                    &e.count) != 4) {
-      if (error != nullptr) {
-        *error = "baseline line " + std::to_string(lineno) +
-                 ": expected 'rule path crc count', got: " + line;
-      }
-      return false;
-    }
-    e.rule = rule;
-    e.file = path;
-    e.crc = crc;
-    out->push_back(std::move(e));
-  }
-  return true;
-}
-
-std::vector<Finding> ApplyBaseline(
-    std::vector<Finding> findings, const std::vector<BaselineEntry>& baseline) {
-  std::map<std::string, int> budget;
-  for (const BaselineEntry& e : baseline) {
-    budget[BaselineKey(e.rule, e.file, e.crc)] += e.count;
-  }
-  std::vector<Finding> fresh;
-  for (Finding& f : findings) {
-    const std::string key = BaselineKey(f.rule, f.file, f.crc);
-    auto it = budget.find(key);
-    if (it != budget.end() && it->second > 0) {
-      --it->second;
-      continue;
-    }
-    fresh.push_back(std::move(f));
-  }
-  return fresh;
-}
-
-// --- Output ---------------------------------------------------------------
-
-std::string FormatText(const std::vector<Finding>& findings) {
-  std::string out;
-  for (const Finding& f : findings) {
-    out += f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
-           f.severity + ": " + f.message + "\n";
-    if (!f.hint.empty()) {
-      out += "    fix: " + f.hint + "\n";
-    }
-  }
-  return out;
-}
-
-namespace {
-std::string JsonEscape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
-}
-}  // namespace
-
-std::string FormatJson(const std::vector<Finding>& findings) {
-  std::string out = "{\"findings\":[";
-  for (size_t i = 0; i < findings.size(); ++i) {
-    const Finding& f = findings[i];
-    if (i > 0) out += ",";
-    char crcbuf[16];
-    std::snprintf(crcbuf, sizeof(crcbuf), "%08x", f.crc);
-    out += "{\"rule\":\"" + JsonEscape(f.rule) + "\",\"severity\":\"" +
-           JsonEscape(f.severity) + "\",\"file\":\"" + JsonEscape(f.file) +
-           "\",\"line\":" + std::to_string(f.line) + ",\"message\":\"" +
-           JsonEscape(f.message) + "\",\"hint\":\"" + JsonEscape(f.hint) +
-           "\",\"crc\":\"" + crcbuf + "\"}";
-  }
-  out += "],\"total\":" + std::to_string(findings.size()) + "}\n";
-  return out;
-}
-
-std::string FormatGithub(const std::vector<Finding>& findings) {
-  std::string out;
-  for (const Finding& f : findings) {
-    out += std::string("::") + (f.severity == "error" ? "error" : "warning") +
-           " file=" + f.file + ",line=" + std::to_string(f.line) +
-           ",title=simlint " + f.rule + "::" + f.message + " — " + f.hint +
-           "\n";
-  }
-  return out;
 }
 
 }  // namespace simlint

@@ -7,7 +7,10 @@
 // CI behave differently from a laptop. simlint is a token/regex + context
 // scanner (deliberately not libclang: it must build in seconds on a bare
 // toolchain and run on a single file in a test) that enforces the
-// determinism discipline documented in DESIGN.md.
+// determinism discipline documented in DESIGN.md. The scanning + reporting
+// core (strip pass, pragmas, baselines, output formats) lives in
+// tools/lintlib and is shared with tools/rapicheck; this header keeps
+// simlint's historical API as thin aliases over it.
 //
 // Rules:
 //   SL001 wall-clock-or-entropy   banned ambient time/randomness sources
@@ -18,12 +21,14 @@
 //   SL006 float-accumulation      += on float/double accumulators
 //   SL007 thread-primitives       std::thread/async/mutex in the sim core
 //                                 (threads live in src/harness/parallel_runner)
+//   SL008 wire-byte-punning       reinterpret_cast/memcpy on on-disk/wire
+//                                 bytes outside the sanctioned codecs
 //
 // Suppression: a `// simlint: <tag>` comment on the finding's line or the
 // line directly above it, with tag one of clock-ok, env-ok, static-ok,
-// ordered-ok, ptr-ok, new-ok, float-ok, thread-ok. Pragmas are expected to
-// carry a short justification in parentheses; the linter does not parse it,
-// humans read it in review.
+// ordered-ok, ptr-ok, new-ok, float-ok, thread-ok, wire-ok. Pragmas are
+// expected to carry a short justification in parentheses; the linter does
+// not parse it, humans read it in review.
 //
 // Baselines: `--write-baseline` serializes current findings keyed by
 // (rule, file, CRC32 of the normalized source line) — robust to line-number
@@ -36,41 +41,22 @@
 #include <string_view>
 #include <vector>
 
+#include "tools/lintlib/lintlib.h"
+
 namespace simlint {
 
-struct Finding {
-  std::string rule;      // "SL003"
-  std::string severity;  // "error" | "warning"
-  std::string file;
-  int line = 0;  // 1-based
-  std::string message;
-  std::string hint;        // fix-it suggestion
-  uint32_t crc = 0;        // CRC32 of the normalized source line
-  std::string normalized;  // whitespace-collapsed, comment/string-stripped
-};
-
-struct RuleInfo {
-  const char* id;
-  const char* name;
-  const char* severity;
-  const char* summary;
-};
+using Finding = lintlib::Finding;
+using RuleInfo = lintlib::RuleInfo;
+using SourceFile = lintlib::SourceFile;
+using BaselineEntry = lintlib::BaselineEntry;
 
 // The full rule table, in id order.
 const std::vector<RuleInfo>& Rules();
 
-// A source file after lexical preprocessing. `code[i]` is line i with
-// comments and string/char literal *contents* blanked (quotes preserved), so
-// rules never fire on prose or on fixture snippets embedded in test
-// strings. `pragmas[i]` holds the `simlint:` tags found on line i.
-struct SourceFile {
-  std::string path;
-  std::vector<std::string> raw;
-  std::vector<std::string> code;
-  std::vector<std::vector<std::string>> pragmas;
-};
-
-SourceFile StripSource(std::string path, std::string_view contents);
+// Lexical preprocessing with simlint's pragma marker.
+inline SourceFile StripSource(std::string path, std::string_view contents) {
+  return lintlib::StripSource(std::move(path), contents, "simlint:");
+}
 
 // Cross-file context: member declarations of unordered containers (names
 // ending in `_`), collected from every scanned file so a loop in foo.cc over
@@ -89,35 +75,39 @@ std::vector<Finding> LintFile(const SourceFile& file,
 // Convenience for tests and single-snippet scans: strip + self-index + lint.
 std::vector<Finding> LintSource(std::string path, std::string_view contents);
 
-// --- Baseline -------------------------------------------------------------
+// --- Baseline / output: lintlib with simlint's tool identity --------------
 
-struct BaselineEntry {
-  std::string rule;
-  std::string file;
-  uint32_t crc = 0;
-  int count = 0;  // findings sharing this (rule, file, crc) key
-};
+inline std::string SerializeBaseline(const std::vector<Finding>& findings) {
+  return lintlib::SerializeBaseline(findings, "simlint");
+}
+inline std::string SerializeBaseline(const std::vector<BaselineEntry>& e) {
+  return lintlib::SerializeBaseline(e, "simlint");
+}
+inline bool ParseBaseline(std::string_view text,
+                          std::vector<BaselineEntry>* out,
+                          std::string* error) {
+  return lintlib::ParseBaseline(text, out, error);
+}
+inline std::vector<Finding> ApplyBaseline(
+    std::vector<Finding> findings,
+    const std::vector<BaselineEntry>& baseline) {
+  return lintlib::ApplyBaseline(std::move(findings), baseline);
+}
 
-// Deterministic text form (sorted by rule, file, crc). Parse(Serialize(x))
-// then Serialize again is byte-identical.
-std::string SerializeBaseline(const std::vector<Finding>& findings);
-std::string SerializeBaseline(const std::vector<BaselineEntry>& entries);
-bool ParseBaseline(std::string_view text, std::vector<BaselineEntry>* out,
-                   std::string* error);
-// Removes findings covered by the baseline (each entry suppresses up to
-// `count` findings with the same key). Leftover findings are "new".
-std::vector<Finding> ApplyBaseline(std::vector<Finding> findings,
-                                   const std::vector<BaselineEntry>& baseline);
-
-// --- Output ---------------------------------------------------------------
-
-std::string FormatText(const std::vector<Finding>& findings);
-std::string FormatJson(const std::vector<Finding>& findings);
-// GitHub Actions workflow-command annotations (::error file=...).
-std::string FormatGithub(const std::vector<Finding>& findings);
+inline std::string FormatText(const std::vector<Finding>& findings) {
+  return lintlib::FormatText(findings);
+}
+inline std::string FormatJson(const std::vector<Finding>& findings) {
+  return lintlib::FormatJson(findings);
+}
+inline std::string FormatGithub(const std::vector<Finding>& findings) {
+  return lintlib::FormatGithub(findings, "simlint");
+}
 
 // CRC32 (Castagnoli, via src/sim/crc32) of the whitespace-normalized line.
-uint32_t NormalizedCrc(std::string_view stripped_line,
-                       std::string* normalized_out = nullptr);
+inline uint32_t NormalizedCrc(std::string_view stripped_line,
+                              std::string* normalized_out = nullptr) {
+  return lintlib::NormalizedCrc(stripped_line, normalized_out);
+}
 
 }  // namespace simlint
