@@ -12,13 +12,18 @@
 //   --jobs N          worker threads; 0 = all cores
 //   --seed S          base seed (default 42)
 //   --json FILE       write the sweep as BENCH-style JSON
-//   --trace-out FILE  re-run the first cell with the span tracer and write
-//                     Chrome trace-event JSON (2PC prepare/decide spans,
-//                     WAL/disk spans) loadable in Perfetto
+//   --trace-out FILE  re-run one cell with the span tracer and write Chrome
+//                     trace-event JSON (2PC prepare/decide spans, WAL/disk
+//                     spans, causal parent links) loadable in Perfetto; also
+//                     prints the per-edge critical-path breakdown of the
+//                     traced cell's transaction classes
+//   --critical-path-json FILE  write that breakdown as JSON (needs
+//                     --trace-out)
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -26,6 +31,7 @@
 #include "src/harness/fleet_testbed.h"
 #include "src/harness/parallel_runner.h"
 #include "src/obs/chrome_trace.h"
+#include "src/obs/critical_path.h"
 #include "src/obs/span_tracer.h"
 #include "src/workload/fleet_workload.h"
 
@@ -148,6 +154,7 @@ int main(int argc, char** argv) {
   double pin_cross = -1.0;
   std::string json_path;
   std::string trace_out;
+  std::string critical_path_json;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -180,6 +187,8 @@ int main(int argc, char** argv) {
       json_path = next();
     } else if (arg == "--trace-out") {
       trace_out = next();
+    } else if (arg == "--critical-path-json") {
+      critical_path_json = next();
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 2;
@@ -251,15 +260,40 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (!trace_out.empty()) {
-    // Dedicated traced re-run of the first cell, outside the sweep, so the
-    // sweep's numbers and hash stay independent of tracing.
+    // Dedicated traced re-run of one cell, outside the sweep, so the sweep's
+    // numbers and hash stay independent of tracing. Prefer a cell that
+    // actually runs cross-shard transactions: the causal trees of local
+    // commits have no prepare/decision edges to break down.
+    size_t traced = 0;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (cells[i].cross_ratio > 0) {
+        traced = i;
+        break;
+      }
+    }
     rlobs::SpanTracer tracer;
-    RunCell(cells[0], budget, seed, &tracer);
+    RunCell(cells[traced], budget, seed + traced * 1000003ull, &tracer);
     if (!rlobs::WriteChromeTrace(tracer, trace_out)) {
       return 1;
     }
     std::printf("wrote %s (%zu trace events)\n", trace_out.c_str(),
                 tracer.records().size());
+
+    const rlobs::CriticalPathReport cp =
+        rlobs::AnalyzeCriticalPaths(rlobs::CollectSpans(tracer));
+    std::fputs(rlobs::FormatCriticalPath(cp).c_str(), stdout);
+    if (!critical_path_json.empty()) {
+      std::ofstream out(critical_path_json);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", critical_path_json.c_str());
+        return 1;
+      }
+      out << rlobs::CriticalPathJson(cp);
+      std::printf("wrote %s\n", critical_path_json.c_str());
+    }
+  } else if (!critical_path_json.empty()) {
+    std::fprintf(stderr, "--critical-path-json needs --trace-out\n");
+    return 2;
   }
   return 0;
 }

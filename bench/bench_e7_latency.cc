@@ -15,8 +15,9 @@
 //                      byte-identical at any N; each arm is its own sim)
 //   --stats-json FILE  machine-readable results (default BENCH_e7.json;
 //                      --json is accepted as an alias, matching bench_micro)
-//   --trace-out FILE   re-run the rapilog arm with a span tracer and write a
-//                      Perfetto-loadable Chrome trace of it
+//   --trace-out FILE   re-run the rapilog arm with a span tracer, write a
+//                      Perfetto-loadable Chrome trace of it, and print the
+//                      critical-path breakdown of the traced spans
 //   --snapshot-every MS  periodic stats snapshots embedded in the JSON
 //                      (default 500 ms of virtual time; 0 disables)
 #include <cstdio>
@@ -26,6 +27,7 @@
 
 #include "bench/bench_common.h"
 #include "src/obs/chrome_trace.h"
+#include "src/obs/critical_path.h"
 #include "src/obs/span_tracer.h"
 
 namespace {
@@ -181,6 +183,14 @@ int main(int argc, char** argv) {
       std::printf("wrote %s (%zu trace events)\n", trace_out.c_str(),
                   tracer.records().size());
     }
+    // Critical-path view of the traced arm. Single-node commit-path spans
+    // are mostly independent roots (stage spans don't nest under one
+    // client-visible root the way fleet 2PC spans do), so each class's
+    // breakdown is dominated by its own self time — still useful as a
+    // per-class duration census, and the same report shape as E13's.
+    const rlobs::CriticalPathReport cp =
+        rlobs::AnalyzeCriticalPaths(rlobs::CollectSpans(tracer));
+    std::fputs(rlobs::FormatCriticalPath(cp).c_str(), stdout);
   }
   return 0;
 }

@@ -86,6 +86,9 @@ void PrintEpisode(const EpisodeConfig& cfg, const EpisodeOutcome& out) {
   if (!out.flight_dump.empty()) {
     std::printf("  %s", out.flight_dump.c_str());
   }
+  if (!out.causal_chain.empty()) {
+    std::printf("  %s", out.causal_chain.c_str());
+  }
 }
 
 // Dedicated traced re-execution: records the episode with the span tracer
@@ -147,6 +150,14 @@ int ReportAndPersist(const ExplorerReport& report, const std::string& out_dir) {
       flight_path << out_dir << "/chaos-flightrec-seed" << f.original.seed
                   << ".txt";
       WriteTextFile(flight_path.str(), f.shrunk.outcome.flight_dump);
+      if (!f.shrunk.outcome.causal_chain.empty()) {
+        // The causal span chains of the convicted transactions (fleet
+        // episodes): which client/coordinator/shard spans they crossed.
+        std::ostringstream causal_path;
+        causal_path << out_dir << "/chaos-causal-seed" << f.original.seed
+                    << ".txt";
+        WriteTextFile(causal_path.str(), f.shrunk.outcome.causal_chain);
+      }
       std::ostringstream trace_path;
       trace_path << out_dir << "/chaos-trace-seed" << f.original.seed
                  << ".json";

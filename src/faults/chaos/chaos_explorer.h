@@ -61,6 +61,13 @@ struct EpisodeOutcome {
   // filled only when the episode ends with violations. Excluded from Hash()
   // — it is derived observability text, not behaviour.
   std::string flight_dump;
+  // Global ids of transactions the fleet atomicity oracle convicted
+  // (VerifyResult::violating_tokens), and the flight recorder's causal span
+  // chains for them: which client/coordinator/shard spans the failing
+  // transactions passed through before the ring cut off. Both are derived
+  // observability, excluded from Hash().
+  std::vector<uint64_t> violating_gids;
+  std::string causal_chain;
 
   bool ok() const { return violations.empty(); }
   // FNV-1a over every numeric field: two runs of the same config must agree.

@@ -250,6 +250,9 @@ Task<void> FleetEpisodeMain(FleetEpisodeState& st) {
     st.out.lost_writes += v.lost_writes;
     st.out.atomicity_violations += v.atomicity_violations;
     st.out.promoted_pending += v.promoted_pending;
+    st.out.violating_gids.insert(st.out.violating_gids.end(),
+                                 v.violating_tokens.begin(),
+                                 v.violating_tokens.end());
     if (!v.ok()) {
       st.out.violations.push_back("fleet oracle: " + v.Summary());
     }
@@ -308,6 +311,12 @@ EpisodeOutcome RunFleetEpisode(const EpisodeConfig& cfg,
   sim.set_tracer(nullptr);
   if (!out.violations.empty()) {
     out.flight_dump = flight.Dump();
+    // Causal post-mortem: for each transaction the oracle convicted, dump
+    // the span trees that carried its global id — the 2PC conversation the
+    // ring still remembers for the transaction that broke the guarantee.
+    for (const uint64_t gid : out.violating_gids) {
+      out.causal_chain += flight.DumpCausalChain(static_cast<int64_t>(gid));
+    }
   }
   return out;
 }

@@ -96,6 +96,7 @@ Task<VerifyResult> FleetChecker::VerifyAfterRecovery(
       }
       if (definite != 0) {
         ++result.atomicity_violations;
+        result.violating_tokens.push_back(token);
       }
     }
   }

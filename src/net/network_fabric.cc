@@ -80,6 +80,12 @@ const NetworkFabric::Link* NetworkFabric::FindLink(
 
 bool NetworkFabric::Send(const std::string& from, const std::string& to,
                          std::vector<uint8_t> payload) {
+  return Send(from, to, std::move(payload), {});
+}
+
+bool NetworkFabric::Send(const std::string& from, const std::string& to,
+                         std::vector<uint8_t> payload,
+                         std::vector<uint8_t> ext) {
   Link* link = FindLink(from, to);
   RL_CHECK_MSG(link != nullptr, "Send on unknown link " << from << "->" << to);
   Endpoint* dest = endpoint(to);
@@ -111,9 +117,12 @@ bool NetworkFabric::Send(const std::string& from, const std::string& to,
   arrival = std::max(arrival, link->last_arrival);
   link->last_arrival = arrival;
 
+  // `ext` joins the Message here, after all timing/accounting above — the
+  // extension is observability freight, not modelled bytes.
   Message message{.from = from,
                   .to = to,
                   .payload = std::move(payload),
+                  .ext = std::move(ext),
                   .sent_at = now};
   sim_.ScheduleAt(arrival, [this, dest, m = std::move(message)]() mutable {
     stats_.messages_delivered.Add();

@@ -53,6 +53,13 @@ struct Message {
   std::string from;
   std::string to;
   std::vector<uint8_t> payload;
+  // Optional out-of-band frame extension (trace context; see
+  // src/obs/trace_context.h). Deliberately NOT part of the modelled frame:
+  // it contributes nothing to bandwidth/serialisation time or to
+  // bytes_sent, so attaching it can never perturb the simulation — the
+  // determinism contract behind "tracing on vs off is byte-identical".
+  // Protocol codecs must never read behaviour out of it.
+  std::vector<uint8_t> ext;
   rlsim::TimePoint sent_at;
 };
 
@@ -110,9 +117,13 @@ class NetworkFabric {
   // Enqueues a message for delivery. Returns true if a delivery event was
   // scheduled, false if the message was dropped (lossy link or link down).
   // Either way the caller must not rely on the outcome for correctness —
-  // that is what end-to-end acks are for.
+  // that is what end-to-end acks are for. The `ext` overload attaches an
+  // out-of-band frame extension that rides along untimed and unaccounted
+  // (see Message::ext); drops and blackholes discard it with the frame.
   bool Send(const std::string& from, const std::string& to,
             std::vector<uint8_t> payload);
+  bool Send(const std::string& from, const std::string& to,
+            std::vector<uint8_t> payload, std::vector<uint8_t> ext);
 
   // Partition control: takes both directions between a and b up or down.
   // Messages already in flight still arrive (they are on the wire); new

@@ -38,6 +38,7 @@ struct Span {
   int64_t begin_arg;
   int64_t end_arg;
   uint64_t span_id;
+  uint64_t parent;   // causal parent span id, 0 for roots
   size_t begin_seq;  // emission order of the begin record (sort tie-break)
   uint16_t actor;
   uint16_t kind;
@@ -68,8 +69,8 @@ std::string ExportChromeTrace(const SpanTracer& tracer) {
     const SpanTracer::Record& r = records[i];
     last_ns = std::max(last_ns, r.at_ns);
     if (r.type == SpanTracer::EventType::kBegin) {
-      open[r.span_id] =
-          Span{r.at_ns, r.at_ns, r.arg, r.arg, r.span_id, i, r.actor, r.kind};
+      open[r.span_id] = Span{r.at_ns, r.at_ns, r.arg,    r.arg, r.span_id,
+                             r.parent, i,       r.actor, r.kind};
     } else if (r.type == SpanTracer::EventType::kEnd) {
       const auto it = open.find(r.span_id);
       if (it != open.end()) {
@@ -111,7 +112,7 @@ std::string ExportChromeTrace(const SpanTracer& tracer) {
   // Emit: metadata first, then all events in timestamp order (stable within
   // a timestamp by emission order), one JSON object per line.
   std::vector<std::string> lines;
-  char buf[256];
+  char buf[320];
   for (const auto& [name, intern_idx] : actors) {
     std::snprintf(buf, sizeof(buf),
                   "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
@@ -132,13 +133,14 @@ std::string ExportChromeTrace(const SpanTracer& tracer) {
         buf, sizeof(buf),
         "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%s,"
         "\"dur\":%s,\"args\":{\"arg\":%lld,\"end_arg\":%lld,"
-        "\"span_id\":%llu}}",
+        "\"span_id\":%llu,\"parent\":%llu}}",
         JsonEscape(tracer.name(span.kind)).c_str(), pid_of[span.actor],
         span.tid, FormatMicros(span.begin_ns).c_str(),
         FormatMicros(span.end_ns - span.begin_ns).c_str(),
         static_cast<long long>(span.begin_arg),
         static_cast<long long>(span.end_arg),
-        static_cast<unsigned long long>(span.span_id));
+        static_cast<unsigned long long>(span.span_id),
+        static_cast<unsigned long long>(span.parent));
     events.push_back(Out{span.begin_ns, span.begin_seq, buf});
   }
   for (size_t i = 0; i < records.size(); ++i) {

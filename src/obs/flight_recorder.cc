@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <map>
+#include <set>
 
 #include "src/sim/check.h"
 
@@ -24,10 +26,11 @@ FlightRecorder::FlightRecorder(size_t capacity) : ring_(capacity) {
 
 void FlightRecorder::Push(char type, rlsim::TimePoint at,
                           std::string_view actor, std::string_view kind,
-                          uint64_t span_id, int64_t arg) {
+                          uint64_t span_id, uint64_t parent, int64_t arg) {
   Entry& e = ring_[next_];
   e.at_ns = at.nanos();
   e.span_id = span_id;
+  e.parent = parent;
   e.arg = arg;
   CopyName(e.actor, sizeof(e.actor), actor);
   CopyName(e.kind, sizeof(e.kind), kind);
@@ -39,23 +42,46 @@ void FlightRecorder::Push(char type, rlsim::TimePoint at,
 void FlightRecorder::OnTraceEvent(rlsim::TimePoint at, std::string_view actor,
                                   std::string_view kind,
                                   uint32_t payload_crc) {
-  Push('I', at, actor, kind, 0, static_cast<int64_t>(payload_crc));
+  Push('I', at, actor, kind, 0, 0, static_cast<int64_t>(payload_crc));
 }
 
 void FlightRecorder::OnSpanBegin(rlsim::TimePoint at, std::string_view actor,
                                  std::string_view kind, uint64_t span_id,
-                                 int64_t arg) {
-  Push('B', at, actor, kind, span_id, arg);
+                                 uint64_t parent, int64_t arg) {
+  Push('B', at, actor, kind, span_id, parent, arg);
 }
 
 void FlightRecorder::OnSpanEnd(rlsim::TimePoint at, std::string_view actor,
                                std::string_view kind, uint64_t span_id,
                                int64_t arg) {
-  Push('E', at, actor, kind, span_id, arg);
+  Push('E', at, actor, kind, span_id, 0, arg);
 }
 
 size_t FlightRecorder::size() const {
   return total_ < ring_.size() ? static_cast<size_t>(total_) : ring_.size();
+}
+
+std::string FlightRecorder::FormatEntry(const Entry& e) const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "  %-14s %c  %s/%s",
+                rlsim::ToString(rlsim::TimePoint::FromNanos(e.at_ns)).c_str(),
+                e.type, e.actor, e.kind);
+  out += line;
+  if (e.span_id != 0) {
+    std::snprintf(line, sizeof(line), " span=%llu",
+                  static_cast<unsigned long long>(e.span_id));
+    out += line;
+  }
+  if (e.parent != 0) {
+    std::snprintf(line, sizeof(line), " parent=%llu",
+                  static_cast<unsigned long long>(e.parent));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), " arg=%lld\n",
+                static_cast<long long>(e.arg));
+  out += line;
+  return out;
 }
 
 std::string FlightRecorder::Dump() const {
@@ -69,19 +95,59 @@ std::string FlightRecorder::Dump() const {
   // Oldest entry: with a full ring, next_ points at it; otherwise index 0.
   const size_t start = total_ > ring_.size() ? next_ : 0;
   for (size_t i = 0; i < held; ++i) {
+    out += FormatEntry(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::DumpCausalChain(int64_t arg) const {
+  const size_t held = size();
+  const size_t start = total_ > ring_.size() ? next_ : 0;
+  // Parent links from the begins still in the ring; a parent whose own
+  // begin was overwritten terminates the walk at that id.
+  std::map<uint64_t, uint64_t> parent_of;
+  for (size_t i = 0; i < held; ++i) {
     const Entry& e = ring_[(start + i) % ring_.size()];
-    std::snprintf(line, sizeof(line), "  %-14s %c  %s/%s",
-                  rlsim::ToString(rlsim::TimePoint::FromNanos(e.at_ns)).c_str(),
-                  e.type, e.actor, e.kind);
-    out += line;
-    if (e.span_id != 0) {
-      std::snprintf(line, sizeof(line), " span=%llu",
-                    static_cast<unsigned long long>(e.span_id));
-      out += line;
+    if (e.type == 'B' && e.span_id != 0) {
+      parent_of[e.span_id] = e.parent;
     }
-    std::snprintf(line, sizeof(line), " arg=%lld\n",
-                  static_cast<long long>(e.arg));
-    out += line;
+  }
+  const auto root_of = [&parent_of](uint64_t id) {
+    // Bounded walk: parent ids strictly precede children in allocation
+    // order, so chains are finite, but cap it anyway against a corrupt ring.
+    for (int hops = 0; hops < 64; ++hops) {
+      const auto it = parent_of.find(id);
+      if (it == parent_of.end() || it->second == 0) {
+        return id;
+      }
+      id = it->second;
+    }
+    return id;
+  };
+  // Causal trees of interest: roots of every span whose begin carried `arg`.
+  std::set<uint64_t> roots;
+  for (size_t i = 0; i < held; ++i) {
+    const Entry& e = ring_[(start + i) % ring_.size()];
+    if (e.type == 'B' && e.span_id != 0 && e.arg == arg) {
+      roots.insert(root_of(e.span_id));
+    }
+  }
+  if (roots.empty()) {
+    return "";
+  }
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "causal chain for arg=%lld (%zu tree%s in ring):\n",
+                static_cast<long long>(arg), roots.size(),
+                roots.size() == 1 ? "" : "s");
+  out += line;
+  for (size_t i = 0; i < held; ++i) {
+    const Entry& e = ring_[(start + i) % ring_.size()];
+    if (e.span_id == 0 || roots.count(root_of(e.span_id)) == 0) {
+      continue;
+    }
+    out += FormatEntry(e);
   }
   return out;
 }
@@ -103,12 +169,12 @@ void TeeSink::OnTraceEvent(rlsim::TimePoint at, std::string_view actor,
 
 void TeeSink::OnSpanBegin(rlsim::TimePoint at, std::string_view actor,
                           std::string_view kind, uint64_t span_id,
-                          int64_t arg) {
+                          uint64_t parent, int64_t arg) {
   if (primary_ != nullptr) {
-    primary_->OnSpanBegin(at, actor, kind, span_id, arg);
+    primary_->OnSpanBegin(at, actor, kind, span_id, parent, arg);
   }
   if (secondary_ != nullptr) {
-    secondary_->OnSpanBegin(at, actor, kind, span_id, arg);
+    secondary_->OnSpanBegin(at, actor, kind, span_id, parent, arg);
   }
 }
 

@@ -27,7 +27,7 @@ class FlightRecorder : public rlsim::TraceEventSink {
   void OnTraceEvent(rlsim::TimePoint at, std::string_view actor,
                     std::string_view kind, uint32_t payload_crc) override;
   void OnSpanBegin(rlsim::TimePoint at, std::string_view actor,
-                   std::string_view kind, uint64_t span_id,
+                   std::string_view kind, uint64_t span_id, uint64_t parent,
                    int64_t arg) override;
   void OnSpanEnd(rlsim::TimePoint at, std::string_view actor,
                  std::string_view kind, uint64_t span_id,
@@ -45,6 +45,15 @@ class FlightRecorder : public rlsim::TraceEventSink {
   // noting how many earlier events the ring dropped.
   std::string Dump() const;
 
+  // Post-mortem causal slice: every span event still in the ring whose
+  // causal tree contains a begin with `arg` (spans carry the transaction gid
+  // or block seq as their arg). Roots are resolved by following parent links
+  // among ring entries, so the dump shows the whole distributed chain —
+  // coordinator phase, shard handlers, decision fanout — of the matching
+  // operation. Returns "" when nothing in the ring matches (e.g. the chain
+  // was overwritten or the run was never span-traced).
+  std::string DumpCausalChain(int64_t arg) const;
+
   void Clear();
 
  private:
@@ -53,6 +62,7 @@ class FlightRecorder : public rlsim::TraceEventSink {
   struct Entry {
     int64_t at_ns;
     uint64_t span_id;
+    uint64_t parent;  // begins only; 0 elsewhere
     int64_t arg;
     char actor[24];
     char kind[28];
@@ -60,7 +70,9 @@ class FlightRecorder : public rlsim::TraceEventSink {
   };
 
   void Push(char type, rlsim::TimePoint at, std::string_view actor,
-            std::string_view kind, uint64_t span_id, int64_t arg);
+            std::string_view kind, uint64_t span_id, uint64_t parent,
+            int64_t arg);
+  std::string FormatEntry(const Entry& e) const;
 
   std::vector<Entry> ring_;
   size_t next_ = 0;
@@ -76,7 +88,7 @@ class TeeSink : public rlsim::TraceEventSink {
   void OnTraceEvent(rlsim::TimePoint at, std::string_view actor,
                     std::string_view kind, uint32_t payload_crc) override;
   void OnSpanBegin(rlsim::TimePoint at, std::string_view actor,
-                   std::string_view kind, uint64_t span_id,
+                   std::string_view kind, uint64_t span_id, uint64_t parent,
                    int64_t arg) override;
   void OnSpanEnd(rlsim::TimePoint at, std::string_view actor,
                  std::string_view kind, uint64_t span_id,

@@ -19,22 +19,22 @@ uint16_t SpanTracer::Intern(std::string_view s) {
 
 void SpanTracer::OnTraceEvent(rlsim::TimePoint at, std::string_view actor,
                               std::string_view kind, uint32_t payload_crc) {
-  records_.push_back(Record{at.nanos(), 0,
+  records_.push_back(Record{at.nanos(), 0, 0,
                             static_cast<int64_t>(payload_crc), Intern(actor),
                             Intern(kind), EventType::kInstant});
 }
 
 void SpanTracer::OnSpanBegin(rlsim::TimePoint at, std::string_view actor,
                              std::string_view kind, uint64_t span_id,
-                             int64_t arg) {
-  records_.push_back(Record{at.nanos(), span_id, arg, Intern(actor),
+                             uint64_t parent, int64_t arg) {
+  records_.push_back(Record{at.nanos(), span_id, parent, arg, Intern(actor),
                             Intern(kind), EventType::kBegin});
 }
 
 void SpanTracer::OnSpanEnd(rlsim::TimePoint at, std::string_view actor,
                            std::string_view kind, uint64_t span_id,
                            int64_t arg) {
-  records_.push_back(Record{at.nanos(), span_id, arg, Intern(actor),
+  records_.push_back(Record{at.nanos(), span_id, 0, arg, Intern(actor),
                             Intern(kind), EventType::kEnd});
 }
 

@@ -33,6 +33,7 @@ class SpanTracer : public rlsim::TraceEventSink {
   struct Record {
     int64_t at_ns;
     uint64_t span_id;  // 0 for instants
+    uint64_t parent;   // parent span id on begins, 0 for roots/instants/ends
     int64_t arg;       // payload CRC for instants, caller arg for spans
     uint16_t actor;    // index into names()
     uint16_t kind;     // index into names()
@@ -42,7 +43,7 @@ class SpanTracer : public rlsim::TraceEventSink {
   void OnTraceEvent(rlsim::TimePoint at, std::string_view actor,
                     std::string_view kind, uint32_t payload_crc) override;
   void OnSpanBegin(rlsim::TimePoint at, std::string_view actor,
-                   std::string_view kind, uint64_t span_id,
+                   std::string_view kind, uint64_t span_id, uint64_t parent,
                    int64_t arg) override;
   void OnSpanEnd(rlsim::TimePoint at, std::string_view actor,
                  std::string_view kind, uint64_t span_id,

@@ -1,0 +1,48 @@
+// Wire-carried trace context: what stitches per-node span fragments into
+// one distributed causal tree.
+//
+// A sender that holds an open span encodes {trace id, parent span id,
+// virtual-time origin} into a small byte blob and attaches it to the
+// outgoing frame's *extension* field (rlnet::Message::ext) — never the
+// payload, so the bytes are invisible to bandwidth/latency modelling,
+// divergence digests and corpus hashes (see DESIGN.md "Distributed causal
+// tracing"). The receiver decodes it and opens its handler span with
+// `parent_span` as the parent; because every node in the fleet shares one
+// Simulator, span ids are globally unique and the parent link resolves
+// without any per-node id translation.
+//
+// A context is only ever produced when a tracer is installed (span ids are 0
+// otherwise, and a zero trace id encodes to an empty blob), so untraced runs
+// ship byte-for-byte empty extensions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rlobs {
+
+struct TraceContext {
+  uint64_t trace_id = 0;     // root span id of the causal tree
+  uint64_t parent_span = 0;  // span the receiver parents its handler under
+  int64_t origin_ns = 0;     // virtual time the root span opened
+
+  bool valid() const { return trace_id != 0; }
+
+  // 28-byte little-endian blob (magic + trace + parent + origin); an
+  // invalid context encodes to an empty vector so untraced frames carry no
+  // extension at all.
+  std::vector<uint8_t> Encode() const;
+
+  // Inverse of Encode. Anything that is not a well-formed 28-byte blob
+  // (including the empty extension of an untraced frame) decodes to an
+  // invalid context — the receiver then opens root spans, which with no
+  // tracer installed costs nothing.
+  static TraceContext Decode(const std::vector<uint8_t>& ext);
+};
+
+inline bool operator==(const TraceContext& a, const TraceContext& b) {
+  return a.trace_id == b.trace_id && a.parent_span == b.parent_span &&
+         a.origin_ns == b.origin_ns;
+}
+
+}  // namespace rlobs

@@ -66,11 +66,21 @@ void LogShipper::Ship(uint64_t lba, std::span<const uint8_t> data) {
   stats_.lag_blocks.Record(static_cast<int64_t>(next_seq_ - quorum_cursor_));
   sim_.EmitTrace(self_name_, "ship-block", static_cast<uint32_t>(seq));
 
+  // Root of the block's replication tree: each replica's apply span parents
+  // under it via the frame-extension context, which also rides every
+  // retransmit of this block (same tree, however late the frame lands).
+  const uint64_t ship_span = sim_.EmitSpanBegin(self_name_, "replicate-block",
+                                                static_cast<int64_t>(seq));
+  const rlobs::TraceContext ctx{ship_span, ship_span, sim_.now().nanos()};
+  std::vector<uint8_t> ext = ctx.Encode();
   for (const Peer& peer : peers_) {
-    fabric_.Send(self_name_, peer.name, frame);
+    fabric_.Send(self_name_, peer.name, frame, ext);
   }
-  window_.push_back(WindowEntry{
-      .seq = seq, .frame = std::move(frame), .shipped_at = sim_.now()});
+  sim_.EmitSpanEnd(ship_span, self_name_, "replicate-block");
+  window_.push_back(WindowEntry{.seq = seq,
+                                .frame = std::move(frame),
+                                .ext = std::move(ext),
+                                .shipped_at = sim_.now()});
   retrans_wake_.NotifyAll();
 }
 
@@ -227,7 +237,8 @@ void LogShipper::ResendTo(Peer& peer) {
                    static_cast<uint32_t>(end - peer.cursor));
   }
   for (uint64_t seq = peer.cursor; seq < end; ++seq) {
-    fabric_.Send(self_name_, peer.name, window_[seq - base].frame);
+    fabric_.Send(self_name_, peer.name, window_[seq - base].frame,
+                 window_[seq - base].ext);
     stats_.retransmits.Add();
   }
 }

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "src/net/network_fabric.h"
+#include "src/obs/trace_context.h"
 #include "src/sim/simulator.h"
 #include "src/sim/stats.h"
 #include "src/sim/sync.h"
@@ -168,6 +169,10 @@ class LogShipper : public rlstor::BlockDevice {
   struct WindowEntry {
     uint64_t seq = 0;
     std::vector<uint8_t> frame;  // encoded SHIP, resent verbatim
+    // Encoded TraceContext of the original ship (empty when untraced);
+    // retransmits carry it so late replica-apply spans still join the
+    // block's causal tree.
+    std::vector<uint8_t> ext;
     rlsim::TimePoint shipped_at;
   };
 

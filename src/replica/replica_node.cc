@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/obs/trace_context.h"
 #include "src/replica/frame.h"
 #include "src/sim/check.h"
 #include "src/storage/disk_model.h"
@@ -53,6 +54,13 @@ Task<void> ReplicaNode::ReceiveLoop() {
           // A predecessor was lost; go-back-N discards until it arrives.
           stats_.gaps.Add();
         } else {
+          // Child of the shipper's replicate-block span (context rides the
+          // frame extension, including on retransmits): the apply cost of
+          // this block on this replica in the causal tree.
+          const rlobs::TraceContext ctx = rlobs::TraceContext::Decode(msg.ext);
+          rlsim::SpanScope span(sim_, name_, "replica-apply",
+                                static_cast<int64_t>(ship->seq),
+                                ctx.parent_span);
           RL_CHECK_MSG(!ship->payload.empty() &&
                            ship->payload.size() % kSectorSize == 0,
                        "shipped block not sector-aligned");

@@ -26,8 +26,8 @@ void ShardNode::Start() {
   sim_.Spawn(ResolverLoop(), name_ + "-resolver");
 }
 
-void ShardNode::Reply(const WireMessage& msg) {
-  fabric_.Send(name_, coordinator_, EncodeMessage(msg));
+void ShardNode::Reply(const WireMessage& msg, const rlobs::TraceContext& ctx) {
+  fabric_.Send(name_, coordinator_, EncodeMessage(msg), ctx.Encode());
 }
 
 rlsim::Task<void> ShardNode::ReceiveLoop() {
@@ -40,21 +40,24 @@ rlsim::Task<void> ShardNode::ReceiveLoop() {
     if (!DecodeMessage(raw.payload, &msg) || raw.from != coordinator_) {
       continue;
     }
+    // Decoded from the out-of-band extension, never the payload: dispatch
+    // below must not (and cannot) branch on it.
+    const rlobs::TraceContext ctx = rlobs::TraceContext::Decode(raw.ext);
     switch (msg.type) {
       case MsgType::kPrepareReq:
-        sim_.Spawn(HandlePrepare(std::move(msg)), name_ + "-prepare");
+        sim_.Spawn(HandlePrepare(std::move(msg), ctx), name_ + "-prepare");
         break;
       case MsgType::kExecuteReq:
-        sim_.Spawn(HandleExecute(std::move(msg)), name_ + "-execute");
+        sim_.Spawn(HandleExecute(std::move(msg), ctx), name_ + "-execute");
         break;
       case MsgType::kDecision:
-        sim_.Spawn(HandleDecision(msg.global_id, msg.flag != 0),
+        sim_.Spawn(HandleDecision(msg.global_id, msg.flag != 0, ctx),
                    name_ + "-decision");
         break;
       case MsgType::kQueryResp:
-        sim_.Spawn(
-            HandleQueryResp(msg.global_id, static_cast<QueryAnswer>(msg.flag)),
-            name_ + "-resolve");
+        sim_.Spawn(HandleQueryResp(msg.global_id,
+                                   static_cast<QueryAnswer>(msg.flag), ctx),
+                   name_ + "-resolve");
         break;
       case MsgType::kVote:
       case MsgType::kExecuteResp:
@@ -82,8 +85,14 @@ rlsim::Task<uint64_t> ShardNode::ApplyOps(rldb::Database& db,
   co_return txn;
 }
 
-rlsim::Task<void> ShardNode::HandlePrepare(WireMessage msg) {
+rlsim::Task<void> ShardNode::HandlePrepare(WireMessage msg,
+                                           rlobs::TraceContext ctx) {
   stats_.prepares_handled.Add();
+  // Child of the coordinator's 2pc-prepare phase span: its duration is this
+  // shard's apply + durable-prepare cost as seen from the causal tree.
+  rlsim::SpanScope span(sim_, name_, "shard-prepare",
+                        static_cast<int64_t>(msg.global_id),
+                        ctx.parent_span);
   try {
     rldb::Database* db = provider_();
     if (db == nullptr) {
@@ -105,8 +114,12 @@ rlsim::Task<void> ShardNode::HandlePrepare(WireMessage msg) {
   }
 }
 
-rlsim::Task<void> ShardNode::HandleExecute(WireMessage msg) {
+rlsim::Task<void> ShardNode::HandleExecute(WireMessage msg,
+                                           rlobs::TraceContext ctx) {
   stats_.executes_handled.Add();
+  rlsim::SpanScope span(sim_, name_, "shard-execute",
+                        static_cast<int64_t>(msg.global_id),
+                        ctx.parent_span);
   try {
     rldb::Database* db = provider_();
     if (db == nullptr) {
@@ -129,7 +142,10 @@ rlsim::Task<void> ShardNode::HandleExecute(WireMessage msg) {
   }
 }
 
-rlsim::Task<void> ShardNode::HandleDecision(uint64_t global_id, bool commit) {
+rlsim::Task<void> ShardNode::HandleDecision(uint64_t global_id, bool commit,
+                                            rlobs::TraceContext ctx) {
+  rlsim::SpanScope span(sim_, name_, "shard-decision",
+                        static_cast<int64_t>(global_id), ctx.parent_span);
   try {
     rldb::Database* db = provider_();
     if (db == nullptr) {
@@ -154,7 +170,8 @@ rlsim::Task<void> ShardNode::HandleDecision(uint64_t global_id, bool commit) {
 }
 
 rlsim::Task<void> ShardNode::HandleQueryResp(uint64_t global_id,
-                                             QueryAnswer answer) {
+                                             QueryAnswer answer,
+                                             rlobs::TraceContext ctx) {
   bool commit = false;
   switch (answer) {
     case QueryAnswer::kPending:
@@ -166,6 +183,10 @@ rlsim::Task<void> ShardNode::HandleQueryResp(uint64_t global_id,
       commit = false;  // presumed abort: no durable decision exists
       break;
   }
+  // Parented under this shard's own query span (echoed back by the
+  // coordinator), closing the resolve round trip in the causal tree.
+  rlsim::SpanScope span(sim_, name_, "shard-resolve",
+                        static_cast<int64_t>(global_id), ctx.parent_span);
   try {
     rldb::Database* db = provider_();
     if (db == nullptr) {
@@ -198,7 +219,14 @@ rlsim::Task<void> ShardNode::ResolverLoop() {
     for (const uint64_t gid : in_doubt) {
       if (doubt_last_round_.count(gid) > 0) {
         stats_.queries_sent.Add();
-        Reply(WireMessage::Make(MsgType::kQuery, gid));
+        // Root of a resolve round trip: the coordinator echoes this context
+        // on its kQueryResp, so the eventual shard-resolve span parents
+        // under the query that caused it.
+        const uint64_t qspan = sim_.EmitSpanBegin(
+            name_, "shard-query", static_cast<int64_t>(gid));
+        Reply(WireMessage::Make(MsgType::kQuery, gid),
+              rlobs::TraceContext{qspan, qspan, sim_.now().nanos()});
+        sim_.EmitSpanEnd(qspan, name_, "shard-query");
       }
     }
     doubt_last_round_ = std::set<uint64_t>(in_doubt.begin(), in_doubt.end());

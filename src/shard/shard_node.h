@@ -22,6 +22,7 @@
 
 #include "src/db/database.h"
 #include "src/net/network_fabric.h"
+#include "src/obs/trace_context.h"
 #include "src/shard/wire.h"
 #include "src/sim/simulator.h"
 #include "src/sim/stats.h"
@@ -74,15 +75,20 @@ class ShardNode {
  private:
   rlsim::Task<void> ReceiveLoop();
   rlsim::Task<void> ResolverLoop();
-  rlsim::Task<void> HandlePrepare(WireMessage msg);
-  rlsim::Task<void> HandleExecute(WireMessage msg);
-  rlsim::Task<void> HandleDecision(uint64_t global_id, bool commit);
-  rlsim::Task<void> HandleQueryResp(uint64_t global_id, QueryAnswer answer);
+  // Handlers take the frame's decoded TraceContext so their spans parent
+  // under the coordinator-side phase span that caused them (invalid context
+  // = untraced run = the spans never open).
+  rlsim::Task<void> HandlePrepare(WireMessage msg, rlobs::TraceContext ctx);
+  rlsim::Task<void> HandleExecute(WireMessage msg, rlobs::TraceContext ctx);
+  rlsim::Task<void> HandleDecision(uint64_t global_id, bool commit,
+                                   rlobs::TraceContext ctx);
+  rlsim::Task<void> HandleQueryResp(uint64_t global_id, QueryAnswer answer,
+                                    rlobs::TraceContext ctx);
   // Begins a local txn, applies the wire ops, returns the txn id or 0 when
   // a lock timeout already aborted it.
   rlsim::Task<uint64_t> ApplyOps(rldb::Database& db,
                                  const std::vector<WireOp>& ops);
-  void Reply(const WireMessage& msg);
+  void Reply(const WireMessage& msg, const rlobs::TraceContext& ctx = {});
 
   rlsim::Simulator& sim_;
   rlnet::NetworkFabric& fabric_;

@@ -46,12 +46,17 @@ rlsim::Task<void> TxnCoordinator::Start() {
   }
 }
 
-void TxnCoordinator::SendToShard(size_t shard, const WireMessage& msg) {
-  fabric_.Send(name_, shards_[shard], EncodeMessage(msg));
+void TxnCoordinator::SendToShard(size_t shard, const WireMessage& msg,
+                                 const rlobs::TraceContext& ctx) {
+  // The trace context rides in the frame extension, never the payload: an
+  // invalid context (untraced run) encodes to an empty ext, so the frames a
+  // shard sees are byte-identical with tracing on or off.
+  fabric_.Send(name_, shards_[shard], EncodeMessage(msg), ctx.Encode());
 }
 
 rlsim::Task<TxnOutcome> TxnCoordinator::Execute(uint64_t global_id,
-                                                std::vector<ShardOps> parts) {
+                                                std::vector<ShardOps> parts,
+                                                uint64_t parent_span) {
   if (!alive_ || parts.empty()) {
     co_return TxnOutcome::kUnknown;
   }
@@ -60,28 +65,37 @@ rlsim::Task<TxnOutcome> TxnCoordinator::Execute(uint64_t global_id,
   stats_.started.Add();
   const uint64_t epoch = epoch_;
   const rlsim::TimePoint start = sim_.now();
+  // Root of the transaction's causal tree; every frame this Execute (and its
+  // pusher) sends carries a TraceContext pointing back into it, so shard and
+  // replica handler spans assemble under this root across the whole fleet.
   rlsim::SpanScope span(sim_, name_, "2pc-execute",
-                        static_cast<int64_t>(global_id));
+                        static_cast<int64_t>(global_id), parent_span);
+  const rlobs::TraceContext root_ctx{span.id(), span.id(), start.nanos()};
 
   Pending& p = pending_[global_id];
   p.wake = std::make_unique<rlsim::WaitQueue>(sim_);
   p.single = parts.size() == 1;
   (p.single ? stats_.single_shard : stats_.cross_shard).Add();
 
+  uint64_t prep_span = 0;
   if (p.single) {
     WireMessage req = WireMessage::Make(MsgType::kExecuteReq, global_id);
     req.ops = std::move(parts[0].ops);
-    SendToShard(parts[0].shard, req);
+    SendToShard(parts[0].shard, req, root_ctx);
   } else {
-    const uint64_t prep_span = sim_.EmitSpanBegin(
-        name_, "2pc-prepare", static_cast<int64_t>(global_id));
+    // The prepare phase span covers fan-out *and* the vote wait below, so
+    // its critical-path share is "time until the slowest prepare resolved",
+    // with the shard-side prepare spans as its children.
+    prep_span = sim_.EmitSpanBegin(name_, "2pc-prepare",
+                                   static_cast<int64_t>(global_id), span.id());
+    const rlobs::TraceContext prep_ctx{
+        span.id(), prep_span != 0 ? prep_span : span.id(), start.nanos()};
     for (ShardOps& part : parts) {
       p.votes_outstanding.insert(part.shard);
       WireMessage req = WireMessage::Make(MsgType::kPrepareReq, global_id);
       req.ops = std::move(part.ops);
-      SendToShard(part.shard, req);
+      SendToShard(part.shard, req, prep_ctx);
     }
-    sim_.EmitSpanEnd(prep_span, name_, "2pc-prepare");
   }
   sim_.Spawn(TimeoutTask(global_id, epoch), name_ + "-timeout");
 
@@ -92,6 +106,7 @@ rlsim::Task<TxnOutcome> TxnCoordinator::Execute(uint64_t global_id,
          !(p.single ? false : p.votes_outstanding.empty())) {
     co_await p.wake->Wait();
   }
+  sim_.EmitSpanEnd(prep_span, name_, "2pc-prepare");
 
   TxnOutcome outcome;
   if (p.done) {
@@ -108,12 +123,12 @@ rlsim::Task<TxnOutcome> TxnCoordinator::Execute(uint64_t global_id,
     // Presumed abort: no log write. Push the abort so prepared participants
     // release locks promptly; stragglers recover via kQuery.
     outcome = TxnOutcome::kAborted;
-    StartPush(global_id, /*commit=*/false, parts);
+    StartPush(global_id, /*commit=*/false, parts, root_ctx);
   } else {
     // Unanimous yes. The decision exists once (and only once) its record is
     // durable; only then may the client be acked.
     const uint64_t decide_span = sim_.EmitSpanBegin(
-        name_, "2pc-decide", static_cast<int64_t>(global_id));
+        name_, "2pc-decide", static_cast<int64_t>(global_id), span.id());
     bool logged = false;
     try {
       co_await dlog_.LogCommit(global_id);
@@ -129,7 +144,7 @@ rlsim::Task<TxnOutcome> TxnCoordinator::Execute(uint64_t global_id,
       outcome = TxnOutcome::kUnknown;
     } else {
       outcome = TxnOutcome::kCommitted;
-      StartPush(global_id, /*commit=*/true, parts);
+      StartPush(global_id, /*commit=*/true, parts, root_ctx);
     }
   }
 
@@ -150,9 +165,11 @@ rlsim::Task<TxnOutcome> TxnCoordinator::Execute(uint64_t global_id,
 }
 
 void TxnCoordinator::StartPush(uint64_t global_id, bool commit,
-                               const std::vector<ShardOps>& parts) {
+                               const std::vector<ShardOps>& parts,
+                               const rlobs::TraceContext& ctx) {
   Push& push = pushes_[global_id];
   push.commit = commit;
+  push.ctx = ctx;
   for (const ShardOps& part : parts) {
     push.unacked.insert(part.shard);
   }
@@ -172,7 +189,7 @@ rlsim::Task<void> TxnCoordinator::PusherTask(uint64_t global_id,
     const WireMessage msg = WireMessage::Make(MsgType::kDecision, global_id,
                                               it->second.commit ? 1 : 0);
     for (size_t shard : it->second.unacked) {
-      SendToShard(shard, msg);
+      SendToShard(shard, msg, it->second.ctx);
       if (round > 0) {
         stats_.decision_resends.Add();
       }
@@ -269,7 +286,10 @@ void TxnCoordinator::HandleMessage(const rlnet::Message& raw) {
       }
       stats_.queries_answered.Add();
       WireMessage resp = WireMessage::Make(MsgType::kQueryResp, msg.global_id, static_cast<uint8_t>(answer));
-      fabric_.Send(name_, raw.from, EncodeMessage(resp));
+      // Echo the querying shard's trace context so its resolution span
+      // parents under the shard's query root, not a disconnected fragment.
+      fabric_.Send(name_, raw.from, EncodeMessage(resp),
+                   rlobs::TraceContext::Decode(raw.ext).Encode());
       return;
     }
     case MsgType::kPrepareReq:

@@ -30,6 +30,7 @@
 
 #include "src/db/profile.h"
 #include "src/net/network_fabric.h"
+#include "src/obs/trace_context.h"
 #include "src/shard/decision_log.h"
 #include "src/shard/wire.h"
 #include "src/sim/simulator.h"
@@ -100,8 +101,12 @@ class TxnCoordinator {
 
   // Runs one distributed transaction. `global_id` must be globally unique
   // and never reused (the workload packs client id and sequence number).
+  // `parent_span` optionally hangs the transaction's causal tree under a
+  // caller-side span (the workload's per-client span), so assembled traces
+  // start at the client rather than at the coordinator.
   rlsim::Task<TxnOutcome> Execute(uint64_t global_id,
-                                  std::vector<ShardOps> parts);
+                                  std::vector<ShardOps> parts,
+                                  uint64_t parent_span = 0);
 
   // Volatile-state death. The caller should cut the decision device's power
   // first so an in-flight decision write fails like real hardware. Pending
@@ -140,15 +145,20 @@ class TxnCoordinator {
   struct Push {
     bool commit = false;
     std::set<size_t> unacked;
+    // Trace context of the deciding Execute; retransmitted pushes carry it
+    // so late decision spans still land in the transaction's causal tree.
+    rlobs::TraceContext ctx;
   };
 
   rlsim::Task<void> ReceiveLoop();
   rlsim::Task<void> TimeoutTask(uint64_t global_id, uint64_t epoch);
   rlsim::Task<void> PusherTask(uint64_t global_id, uint64_t epoch);
   void HandleMessage(const rlnet::Message& raw);
-  void SendToShard(size_t shard, const WireMessage& msg);
+  void SendToShard(size_t shard, const WireMessage& msg,
+                   const rlobs::TraceContext& ctx = {});
   void StartPush(uint64_t global_id, bool commit,
-                 const std::vector<ShardOps>& parts);
+                 const std::vector<ShardOps>& parts,
+                 const rlobs::TraceContext& ctx);
 
   rlsim::Simulator& sim_;
   rlnet::NetworkFabric& fabric_;

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/check.h"
 #include "src/sim/rng.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
@@ -89,16 +90,21 @@ class Simulator {
   }
 
   // Opens a span at the current virtual time and returns its id (0 with no
-  // tracer installed — the null fast path costs one branch). Span ids are
-  // observability state only: they never feed back into the simulation, so
-  // behaviour is identical with tracing on or off.
+  // tracer installed — the null fast path costs one branch, and no id is
+  // allocated, so a run that later installs a tracer sees the same id
+  // sequence as one traced from the start). `parent` is the id of the
+  // causally-enclosing span, 0 for a root; a parent id received over the
+  // wire (TraceContext) is valid here because every node shares this
+  // simulator's id space. Span ids are observability state only: they never
+  // feed back into the simulation, so behaviour is identical with tracing
+  // on or off.
   uint64_t EmitSpanBegin(std::string_view actor, std::string_view kind,
-                         int64_t arg = 0) {
+                         int64_t arg = 0, uint64_t parent = 0) {
     if (tracer_ == nullptr) {
       return 0;
     }
     const uint64_t id = ++next_span_id_;
-    tracer_->OnSpanBegin(now_, actor, kind, id, arg);
+    tracer_->OnSpanBegin(now_, actor, kind, id, parent, arg);
     return id;
   }
 
@@ -109,8 +115,14 @@ class Simulator {
     if (tracer_ == nullptr || span_id == 0) {
       return;
     }
+    RL_CHECK_MSG(span_id <= next_span_id_,
+                 "span id was never allocated by this simulator");
     tracer_->OnSpanEnd(now_, actor, kind, span_id, arg);
   }
+
+  // Total span ids handed out so far. Regression hook for the "no tracer =>
+  // no ids" invariant: after any untraced stretch this must not have moved.
+  uint64_t span_ids_allocated() const { return next_span_id_; }
 
  private:
   // Event storage is split hot/cold to keep per-event cost off the schedule
@@ -172,11 +184,11 @@ class Simulator {
 class SpanScope {
  public:
   SpanScope(Simulator& sim, std::string_view actor, std::string_view kind,
-            int64_t arg = 0)
+            int64_t arg = 0, uint64_t parent = 0)
       : sim_(sim),
         actor_(actor),
         kind_(kind),
-        id_(sim.EmitSpanBegin(actor, kind, arg)),
+        id_(sim.EmitSpanBegin(actor, kind, arg, parent)),
         end_arg_(arg) {}
   ~SpanScope() { sim_.EmitSpanEnd(id_, actor_, kind_, end_arg_); }
 
@@ -186,6 +198,10 @@ class SpanScope {
   // Overrides the argument reported on the end event (e.g. a status code or
   // the number of records the cycle actually flushed).
   void set_end_arg(int64_t arg) { end_arg_ = arg; }
+
+  // The span's id (0 when no tracer is installed). Callers use it to parent
+  // child spans or to stamp a TraceContext into an outgoing frame.
+  uint64_t id() const { return id_; }
 
  private:
   Simulator& sim_;

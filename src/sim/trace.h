@@ -38,16 +38,21 @@ class TraceEventSink {
                             std::string_view kind, uint32_t payload_crc) = 0;
 
   // Span protocol. `span_id` pairs a begin with its end and is unique per
-  // simulator; `arg` is whatever small integer identifies the operation
-  // (bytes, LBA, record count). The same prohibition applies: a sink must
-  // not re-enter the simulator from these callbacks.
+  // simulator; `parent` is the id of the causally-enclosing span (0 = root),
+  // which is what stitches per-node span fragments into one distributed
+  // tree — a TraceContext carried in a frame extension hands the sender's
+  // span id to the receiving node, which opens its handler span with that id
+  // as `parent`. `arg` is whatever small integer identifies the operation
+  // (bytes, LBA, record count, transaction gid). The same prohibition
+  // applies: a sink must not re-enter the simulator from these callbacks.
   virtual void OnSpanBegin(TimePoint at, std::string_view actor,
                            std::string_view kind, uint64_t span_id,
-                           int64_t arg) {
+                           uint64_t parent, int64_t arg) {
     (void)at;
     (void)actor;
     (void)kind;
     (void)span_id;
+    (void)parent;
     (void)arg;
   }
   virtual void OnSpanEnd(TimePoint at, std::string_view actor,

@@ -19,6 +19,7 @@ Task<void> FleetWorkload::RunClient(rlshard::TxnCoordinator& coordinator,
                  0x9e3779b97f4a7c15ull);
   const size_t shards = directory.shards();
   const size_t home = static_cast<size_t>(client_id) % shards;
+  const std::string client_name = "client-" + std::to_string(client_id);
   uint64_t seq = 0;
 
   const auto range_key = [&](size_t shard) {
@@ -80,8 +81,16 @@ Task<void> FleetWorkload::RunClient(rlshard::TxnCoordinator& coordinator,
       checker->OnTxnAttempt(global_id, std::move(tracked));
     }
     const rlsim::TimePoint exec_start = sim_.now();
-    const rlshard::TxnOutcome outcome =
-        co_await coordinator.Execute(global_id, std::move(parts));
+    // Top of the transaction's causal tree: the coordinator's 2pc-execute
+    // span parents under this one, so assembled traces and critical paths
+    // start at the client's submit, not at the coordinator's entry.
+    rlshard::TxnOutcome outcome;
+    {
+      rlsim::SpanScope client_span(sim_, client_name, "client-txn",
+                                   static_cast<int64_t>(global_id));
+      outcome = co_await coordinator.Execute(global_id, std::move(parts),
+                                             client_span.id());
+    }
     stats_.txn_latency.RecordDuration(sim_.now() - exec_start);
     switch (outcome) {
       case rlshard::TxnOutcome::kCommitted:

@@ -19,7 +19,7 @@ TEST(FlightRecorderTest, KeepsEverythingBelowCapacity) {
   rec.OnTraceEvent(TimePoint::Origin() + Duration::Micros(1), "disk",
                    "destage", 1);
   rec.OnSpanBegin(TimePoint::Origin() + Duration::Micros(2), "wal",
-                  "commit-wait", 1, 10);
+                  "commit-wait", 1, 0, 10);
   rec.OnSpanEnd(TimePoint::Origin() + Duration::Micros(3), "wal",
                 "commit-wait", 1, 11);
   EXPECT_EQ(rec.size(), 3u);
@@ -72,6 +72,30 @@ TEST(FlightRecorderTest, ClearEmptiesTheRing) {
   EXPECT_NE(rec.Dump().find("last 0 of 0 events"), std::string::npos);
 }
 
+TEST(FlightRecorderTest, CausalChainFollowsParentLinksAndFiltersByArg) {
+  FlightRecorder rec(32);
+  const TimePoint t0 = TimePoint::Origin();
+  // Tree for gid 77: coordinator root -> shard child (the child carries the
+  // gid; the root is pulled in via the parent link). Span 9 is unrelated.
+  rec.OnSpanBegin(t0 + Duration::Micros(1), "coord", "2pc-execute", 1, 0, 77);
+  rec.OnSpanBegin(t0 + Duration::Micros(2), "shard-0", "shard-prepare", 2, 1,
+                  77);
+  rec.OnSpanBegin(t0 + Duration::Micros(3), "other", "io-write", 9, 0, 5);
+  rec.OnSpanEnd(t0 + Duration::Micros(4), "shard-0", "shard-prepare", 2, 77);
+  rec.OnSpanEnd(t0 + Duration::Micros(5), "other", "io-write", 9, 0);
+  rec.OnSpanEnd(t0 + Duration::Micros(6), "coord", "2pc-execute", 1, 77);
+
+  const std::string chain = rec.DumpCausalChain(77);
+  EXPECT_NE(chain.find("coord/2pc-execute"), std::string::npos);
+  EXPECT_NE(chain.find("shard-0/shard-prepare"), std::string::npos);
+  EXPECT_EQ(chain.find("other/io-write"), std::string::npos);
+  // Span events only, begin before end, per-tree.
+  EXPECT_LT(chain.find("coord/2pc-execute"),
+            chain.find("shard-0/shard-prepare"));
+
+  EXPECT_EQ(rec.DumpCausalChain(999), "");
+}
+
 TEST(TeeSinkTest, ForwardsToBothSinks) {
   SpanTracer full;
   FlightRecorder ring(4);
@@ -94,7 +118,7 @@ TEST(TeeSinkTest, NullSecondaryIsAllowed) {
   FlightRecorder ring(4);
   TeeSink tee(&ring, nullptr);
   tee.OnTraceEvent(TimePoint::Origin(), "a", "b", 0);
-  tee.OnSpanBegin(TimePoint::Origin(), "a", "b", 1, 0);
+  tee.OnSpanBegin(TimePoint::Origin(), "a", "b", 1, 0, 0);
   tee.OnSpanEnd(TimePoint::Origin(), "a", "b", 1, 0);
   EXPECT_EQ(ring.total_events(), 3u);
 }

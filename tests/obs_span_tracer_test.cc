@@ -64,6 +64,51 @@ TEST(SpanTracerTest, NoTracerMeansNoSpanIdsAndNoCost) {
     sim.EmitSpanEnd(0, "wal", "commit-wait");  // accepted no-op
   });
   sim.Run();
+  // Regression for the span-id leak: an untraced run must never move the
+  // allocator, or enabling tracing mid-run would change ids already handed
+  // out (and the "tracing is free" determinism claim would be a lie).
+  EXPECT_EQ(sim.span_ids_allocated(), 0u);
+}
+
+TEST(SpanTracerTest, MidRunTracerInstallAllocatesOnlyWhileInstalled) {
+  Simulator sim;
+  SpanTracer tracer;
+  sim.Schedule(Duration::Micros(1), [&] {
+    EXPECT_EQ(sim.EmitSpanBegin("wal", "untraced"), 0u);
+  });
+  sim.Schedule(Duration::Micros(2), [&] { sim.set_tracer(&tracer); });
+  sim.Schedule(Duration::Micros(3), [&] {
+    const uint64_t id = sim.EmitSpanBegin("wal", "traced");
+    EXPECT_EQ(id, 1u);  // first id ever allocated, despite the earlier span
+    sim.EmitSpanEnd(id, "wal", "traced");
+  });
+  sim.Schedule(Duration::Micros(4), [&] { sim.set_tracer(nullptr); });
+  sim.Schedule(Duration::Micros(5), [&] {
+    EXPECT_EQ(sim.EmitSpanBegin("wal", "untraced-again"), 0u);
+  });
+  sim.Run();
+  EXPECT_EQ(sim.span_ids_allocated(), 1u);
+}
+
+TEST(SpanTracerTest, ParentIdIsRecordedAndExported) {
+  Simulator sim;
+  SpanTracer tracer;
+  sim.set_tracer(&tracer);
+  sim.Schedule(Duration::Micros(1), [&] {
+    rlsim::SpanScope root(sim, "coord", "2pc-execute", 5);
+    ASSERT_NE(root.id(), 0u);
+    rlsim::SpanScope child(sim, "shard", "shard-prepare", 5, root.id());
+    EXPECT_NE(child.id(), root.id());
+  });
+  sim.Run();
+
+  ASSERT_EQ(tracer.records().size(), 4u);
+  const auto& recs = tracer.records();
+  EXPECT_EQ(recs[0].parent, 0u);                // root begin
+  EXPECT_EQ(recs[1].parent, recs[0].span_id);   // child begin
+  const std::string json = ExportChromeTrace(tracer);
+  EXPECT_NE(json.find("\"parent\":" + std::to_string(recs[0].span_id)),
+            std::string::npos);
 }
 
 TEST(SpanTracerTest, InterningDeduplicatesNames) {

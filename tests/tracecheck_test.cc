@@ -142,6 +142,73 @@ TEST(TracecheckTest, RejectsPidsWithoutMetadata) {
   EXPECT_TRUE(HasRule(r, "TC005"));
 }
 
+TEST(TracecheckTest, AcceptsResolvableParentLinks) {
+  // span 2 parents under span 1 (same file, different lanes) — well formed.
+  const Report r = CheckTraceText(
+      Wrap(std::string(kMeta1) +
+           "{\"name\":\"2pc-execute\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+           "\"ts\":1.000,\"dur\":9.000,\"args\":{\"span_id\":1}},\n"
+           "{\"name\":\"shard-prepare\",\"ph\":\"X\",\"pid\":1,\"tid\":2,"
+           "\"ts\":2.000,\"dur\":3.000,\"args\":{\"span_id\":2,"
+           "\"parent\":1}}\n"),
+      "t");
+  EXPECT_TRUE(r.ok()) << FormatReport(r, "t");
+  EXPECT_EQ(r.spans, 2);
+}
+
+TEST(TracecheckTest, RejectsUnresolvableParent) {
+  const Report r = CheckTraceText(
+      Wrap(std::string(kMeta1) +
+           "{\"name\":\"orphan\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+           "\"ts\":1.000,\"dur\":2.000,\"args\":{\"span_id\":7,"
+           "\"parent\":99}}\n"),
+      "t");
+  EXPECT_TRUE(HasRule(r, "TC006"));
+  EXPECT_FALSE(HasRule(r, "TC007"));
+}
+
+TEST(TracecheckTest, RejectsParentCycles) {
+  // 1 -> 2 -> 1: both parents resolve, but the chain never reaches a root.
+  const Report r = CheckTraceText(
+      Wrap(std::string(kMeta1) +
+           "{\"name\":\"a\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+           "\"ts\":1.000,\"dur\":2.000,\"args\":{\"span_id\":1,"
+           "\"parent\":2}},\n"
+           "{\"name\":\"b\",\"ph\":\"X\",\"pid\":1,\"tid\":2,"
+           "\"ts\":1.000,\"dur\":2.000,\"args\":{\"span_id\":2,"
+           "\"parent\":1}}\n"),
+      "t");
+  EXPECT_FALSE(HasRule(r, "TC006"));
+  EXPECT_TRUE(HasRule(r, "TC007"));
+  // One report per cycle, not one per member.
+  int tc007 = 0;
+  for (const Problem& p : r.problems) {
+    tc007 += p.rule == "TC007" ? 1 : 0;
+  }
+  EXPECT_EQ(tc007, 1);
+}
+
+TEST(TracecheckTest, ExtractSpansLiftsParentedSpans) {
+  const std::vector<rlobs::SpanNode> spans = ExtractSpans(
+      Wrap(std::string(kMeta1) +
+           "{\"name\":\"root\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+           "\"ts\":1.000,\"dur\":9.000,\"args\":{\"span_id\":1}},\n"
+           "{\"name\":\"child\",\"ph\":\"X\",\"pid\":2,\"tid\":1,"
+           "\"ts\":2.000,\"dur\":3.000,\"args\":{\"span_id\":2,"
+           "\"parent\":1}}\n"));
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].id, 1u);
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[0].kind, "root");
+  EXPECT_EQ(spans[0].actor, "wal");
+  EXPECT_EQ(spans[0].begin_ns, 1000);
+  EXPECT_EQ(spans[0].end_ns, 10000);
+  EXPECT_EQ(spans[1].id, 2u);
+  EXPECT_EQ(spans[1].parent, 1u);
+  // pid 2 has no process_name metadata: synthesized actor name.
+  EXPECT_EQ(spans[1].actor, "pid-2");
+}
+
 // End-to-end: everything the real exporter produces must validate. This is
 // the same check CI runs against --trace-out artifacts.
 TEST(TracecheckTest, RealExporterOutputValidates) {

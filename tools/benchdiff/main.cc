@@ -1,0 +1,96 @@
+// benchdiff CLI: compares a fresh BENCH_*.json against its committed
+// baseline (see tools/benchdiff/benchdiff.h for the rule list).
+//
+//   benchdiff [--tolerance X | --tolerance NAME=X]... [--format F] BASE FRESH
+//
+// --tolerance X        default relative band (0.35 unless given)
+// --tolerance NAME=X   per-metric override (repeatable)
+// --format text|json|github   output style (default text)
+//
+// Exit status: 0 = within bands (warnings allowed), 1 = BD001 errors,
+// 2 = usage or unreadable/unparseable input.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "tools/benchdiff/benchdiff.h"
+#include "tools/lintlib/lintlib.h"
+
+namespace {
+
+bool LoadMetrics(const char* path, std::vector<benchdiff::Metric>* out) {
+  std::string text;
+  if (!lintlib::ReadFile(path, &text)) {
+    std::fprintf(stderr, "benchdiff: cannot read %s\n", path);
+    return false;
+  }
+  std::string error;
+  if (!benchdiff::ParseBenchJson(text, out, &error)) {
+    std::fprintf(stderr, "benchdiff: %s: %s\n", path, error.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchdiff::DiffOptions opts;
+  std::string format = "text";
+  const char* base_path = nullptr;
+  const char* fresh_path = nullptr;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tolerance" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      const size_t eq = v.find('=');
+      if (eq == std::string::npos) {
+        opts.default_tolerance = std::strtod(v.c_str(), nullptr);
+      } else {
+        opts.overrides[v.substr(0, eq)] =
+            std::strtod(v.c_str() + eq + 1, nullptr);
+      }
+    } else if (arg == "--format" && i + 1 < argc) {
+      format = argv[++i];
+      if (format != "text" && format != "json" && format != "github") {
+        std::fprintf(stderr, "benchdiff: --format wants text|json|github\n");
+        return 2;
+      }
+    } else if (base_path == nullptr) {
+      base_path = argv[i];
+    } else if (fresh_path == nullptr) {
+      fresh_path = argv[i];
+    } else {
+      std::fprintf(stderr, "benchdiff: unexpected argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (base_path == nullptr || fresh_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: %s [--tolerance X | --tolerance NAME=X]... "
+                 "[--format text|json|github] BASELINE FRESH\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::vector<benchdiff::Metric> baseline;
+  std::vector<benchdiff::Metric> fresh;
+  if (!LoadMetrics(base_path, &baseline) || !LoadMetrics(fresh_path, &fresh)) {
+    return 2;
+  }
+
+  const std::vector<lintlib::Finding> findings =
+      benchdiff::DiffBench(baseline, fresh, opts, fresh_path);
+  if (format == "json") {
+    std::fputs(lintlib::FormatJson(findings).c_str(), stdout);
+  } else if (format == "github") {
+    std::fputs(lintlib::FormatGithub(findings, "benchdiff").c_str(), stdout);
+  } else {
+    std::fputs(lintlib::FormatText(findings).c_str(), stdout);
+    std::printf("benchdiff: %zu baseline metrics vs %s: %zu findings\n",
+                baseline.size(), fresh_path, findings.size());
+  }
+  return benchdiff::HasErrors(findings) ? 1 : 0;
+}

@@ -1,20 +1,35 @@
 // tracecheck CLI: validates Chrome trace-event JSON files emitted by
 // --trace-out (see tools/tracecheck/tracecheck.h for the rule list).
+// With --critical-path, additionally prints the per-class per-edge latency
+// breakdown of the file's causal span trees (src/obs/critical_path.h).
 // Exit status: 0 = all files valid, 1 = problems found, 2 = usage.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
 
+#include "src/obs/critical_path.h"
 #include "tools/tracecheck/tracecheck.h"
 
 int main(int argc, char** argv) {
   bool quiet = false;
+  bool critical_path = false;
   int first_file = 1;
-  if (first_file < argc && std::strcmp(argv[first_file], "--quiet") == 0) {
-    quiet = true;
+  while (first_file < argc && argv[first_file][0] == '-') {
+    if (std::strcmp(argv[first_file], "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(argv[first_file], "--critical-path") == 0) {
+      critical_path = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[first_file]);
+      return 2;
+    }
     ++first_file;
   }
   if (first_file >= argc) {
-    std::fprintf(stderr, "usage: %s [--quiet] TRACE.json...\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [--quiet] [--critical-path] TRACE.json...\n",
+                 argv[0]);
     return 2;
   }
 
@@ -27,6 +42,18 @@ int main(int argc, char** argv) {
     if (!report.ok() || !quiet) {
       std::fputs(tracecheck::FormatReport(report, argv[i]).c_str(),
                  report.ok() ? stdout : stderr);
+    }
+    if (critical_path && report.ok()) {
+      std::ifstream in(argv[i]);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const auto spans = tracecheck::ExtractSpans(buf.str());
+      const auto cp = rlobs::AnalyzeCriticalPaths(spans);
+      if (cp.classes.empty()) {
+        std::printf("%s: no spans to analyze\n", argv[i]);
+      } else {
+        std::fputs(rlobs::FormatCriticalPath(cp).c_str(), stdout);
+      }
     }
   }
   return all_ok ? 0 : 1;

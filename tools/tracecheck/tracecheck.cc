@@ -157,6 +157,15 @@ Report CheckTraceText(std::string_view text, std::string_view path) {
   std::map<std::pair<int64_t, int64_t>, int64_t> lane_end_ns;
   int64_t last_ts_ns = -1;
 
+  // Parent links for TC006/TC007, collected as spans stream past.
+  struct SpanLink {
+    int line = 0;
+    uint64_t id = 0;
+    uint64_t parent = 0;  // 0 = root
+  };
+  std::vector<SpanLink> links;
+  std::set<uint64_t> span_ids;
+
   for (size_t i = 1; i + 1 < last; ++i) {
     const int line_no = static_cast<int>(i) + 1;
     std::string_view line = lines[i];
@@ -270,6 +279,71 @@ Report CheckTraceText(std::string_view text, std::string_view path) {
     }
     lane_end_ns[lane] = ts_ns + dur_ns;
     ++report.spans;
+
+    // Parent links are optional (hand-built fixtures omit them), but when a
+    // span carries them they must form a well-founded forest — checked after
+    // the whole file is read, since a parent legitimately appears later in
+    // the file than its remote child (it ends later).
+    std::string sid_text;
+    int64_t sid = 0;
+    if (ExtractField(line, "span_id", &sid_text) && ParseInt(sid_text, &sid) &&
+        sid > 0) {
+      span_ids.insert(static_cast<uint64_t>(sid));
+      std::string parent_text;
+      int64_t parent = 0;
+      if (ExtractField(line, "parent", &parent_text) &&
+          ParseInt(parent_text, &parent) && parent > 0) {
+        links.push_back(SpanLink{line_no, static_cast<uint64_t>(sid),
+                                 static_cast<uint64_t>(parent)});
+      }
+    }
+  }
+
+  // TC006: every parent resolves within this file.
+  std::map<uint64_t, uint64_t> parent_of;
+  std::map<uint64_t, int> link_line;
+  for (const SpanLink& link : links) {
+    if (span_ids.find(link.parent) == span_ids.end()) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "span %llu's parent %llu is not a span in this trace",
+                    static_cast<unsigned long long>(link.id),
+                    static_cast<unsigned long long>(link.parent));
+      Add(&report, "TC006", link.line, buf);
+      continue;
+    }
+    parent_of[link.id] = link.parent;
+    link_line.emplace(link.id, link.line);
+  }
+
+  // TC007: parent chains terminate. Nodes proven to reach a root are cached
+  // so the sweep stays linear; a chain that revisits itself is reported once,
+  // at the span that closed the cycle.
+  std::set<uint64_t> reaches_root;
+  for (const SpanLink& link : links) {
+    std::vector<uint64_t> path;
+    std::set<uint64_t> on_path;
+    uint64_t at = link.id;
+    bool cyclic = false;
+    while (parent_of.count(at) > 0 && reaches_root.count(at) == 0) {
+      if (!on_path.insert(at).second) {
+        cyclic = true;
+        break;
+      }
+      path.push_back(at);
+      at = parent_of[at];
+    }
+    for (const uint64_t id : path) {
+      reaches_root.insert(id);  // cycle members too: report each cycle once
+    }
+    if (cyclic) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "span %llu's parent chain cycles back through span %llu",
+                    static_cast<unsigned long long>(link.id),
+                    static_cast<unsigned long long>(at));
+      Add(&report, "TC007", link.line, buf);
+    }
   }
 
   for (const auto& [pid, line_no] : used_pids) {
@@ -296,6 +370,79 @@ Report CheckTraceFile(const std::string& path) {
   buf << in.rdbuf();
   const std::string text = buf.str();
   return CheckTraceText(text, path);
+}
+
+std::vector<rlobs::SpanNode> ExtractSpans(std::string_view text) {
+  std::vector<rlobs::SpanNode> spans;
+  std::map<int64_t, std::string> actor_of_pid;
+
+  size_t start = 0;
+  // Two streaming concerns, one pass: process_name metadata always precedes
+  // the events of its pid (the exporter emits all metadata first).
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      nl = text.size();
+    }
+    std::string_view line = text.substr(start, nl - start);
+    start = nl + 1;
+    if (!line.empty() && line.back() == ',') {
+      line.remove_suffix(1);
+    }
+
+    std::string ph;
+    std::string pid_text;
+    int64_t pid = 0;
+    if (!ExtractField(line, "ph", &ph) ||
+        !ExtractField(line, "pid", &pid_text) || !ParseInt(pid_text, &pid)) {
+      continue;
+    }
+    if (ph == "M") {
+      std::string actor;
+      const size_t args_at = line.find("\"args\":");
+      if (args_at != std::string_view::npos &&
+          ExtractField(line.substr(args_at), "name", &actor)) {
+        actor_of_pid.emplace(pid, actor);
+      }
+      continue;
+    }
+    if (ph != "X") {
+      continue;
+    }
+
+    std::string name;
+    std::string ts_text;
+    std::string dur_text;
+    std::string sid_text;
+    int64_t ts_ns = 0;
+    int64_t dur_ns = 0;
+    int64_t sid = 0;
+    if (!ExtractField(line, "name", &name) ||
+        !ExtractField(line, "ts", &ts_text) ||
+        !ParseMicrosToNanos(ts_text, &ts_ns) ||
+        !ExtractField(line, "dur", &dur_text) ||
+        !ParseMicrosToNanos(dur_text, &dur_ns) ||
+        !ExtractField(line, "span_id", &sid_text) ||
+        !ParseInt(sid_text, &sid) || sid <= 0) {
+      continue;
+    }
+    std::string parent_text;
+    int64_t parent = 0;
+    if (ExtractField(line, "parent", &parent_text)) {
+      ParseInt(parent_text, &parent);
+    }
+    rlobs::SpanNode node;
+    node.id = static_cast<uint64_t>(sid);
+    node.parent = parent > 0 ? static_cast<uint64_t>(parent) : 0;
+    node.begin_ns = ts_ns;
+    node.end_ns = ts_ns + dur_ns;
+    const auto actor_it = actor_of_pid.find(pid);
+    node.actor = actor_it != actor_of_pid.end() ? actor_it->second
+                                                : "pid-" + pid_text;
+    node.kind = name;
+    spans.push_back(std::move(node));
+  }
+  return spans;
 }
 
 std::string FormatReport(const Report& report, std::string_view path) {

@@ -15,16 +15,30 @@
 //   TC003 ts-monotonic       non-metadata events sorted by timestamp
 //   TC004 lane-overlap       per (pid,tid) lane, X spans do not overlap
 //   TC005 pid-metadata       every pid used by an event has a process_name
+//   TC006 parent-resolves    every span with a nonzero args.parent points at
+//                            a span_id present in the same file — a remote
+//                            (cross-node) child whose parent got lost in
+//                            assembly is a broken causal tree, not a warning
+//   TC007 parent-acyclic     parent chains terminate at a root; a cycle
+//                            (possible only if two nodes' traces were merged
+//                            with clashing span ids) is unrenderable
 //
 // Scope: this validates traces produced by this repo's exporter (fixed key
 // spelling, "%lld.%03lld" microsecond timestamps), not arbitrary Chrome
 // traces — which is exactly what a schema check should pin down.
+//
+// `tracecheck --critical-path` additionally lifts the file's spans into the
+// causal-tree analyzer (src/obs/critical_path.h) and prints the per-class
+// per-edge latency breakdown — the offline twin of what bench_e13_fleet
+// prints live.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "src/obs/critical_path.h"
 
 namespace tracecheck {
 
@@ -53,6 +67,13 @@ Report CheckTraceFile(const std::string& path);
 
 // "rule line: message" lines, one per problem, plus a one-line summary.
 std::string FormatReport(const Report& report, std::string_view path);
+
+// Lifts every complete ("X") event carrying an args.span_id into a SpanNode
+// (kind = event name, actor = the pid's process_name, begin/end from ts/dur)
+// for rlobs::AnalyzeCriticalPaths. Events without span ids — hand-written
+// fixtures, instants — are skipped. Assumes the text already passed
+// CheckTraceText; malformed lines are skipped, not diagnosed again.
+std::vector<rlobs::SpanNode> ExtractSpans(std::string_view text);
 
 // Exposed for tests: parses a "%lld.%03lld"-microsecond timestamp (or plain
 // integer) into nanoseconds. Returns false on malformed input.
